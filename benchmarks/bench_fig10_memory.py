@@ -1,0 +1,47 @@
+"""Figure 10: peak and average memory per iteration for Helix.
+
+The paper's observations: Helix runs comfortably within its memory budget on
+all four workflows, and on iterations with heavy reuse the memory footprint
+drops along with the run time (small loaded intermediates prune large
+subtrees instead of overloading memory).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_memory_table
+from repro.experiments.runner import run_lifecycle
+from repro.systems.helix import HelixSystem
+from repro.workloads import IterationType
+
+from _bench_helpers import ITERATIONS, SEED, emit, run_once
+
+#: Generous ceiling standing in for the paper's 30 GB allocation, scaled to
+#: the synthetic dataset sizes.
+MEMORY_CEILING_BYTES = 512 * 1024 * 1024
+
+
+@pytest.mark.parametrize("workload", ["census", "genomics", "nlp", "mnist"])
+def test_fig10_memory(benchmark, workload):
+    result = run_once(
+        benchmark,
+        lambda: run_lifecycle(HelixSystem.opt(seed=0), workload,
+                              n_iterations=ITERATIONS[workload], seed=SEED),
+    )
+    memory = result.memory_series()
+    emit(f"Figure 10 — {workload}: peak / average cache memory", format_memory_table(memory))
+
+    peaks = [row["peak"] for row in memory]
+    averages = [row["average"] for row in memory]
+
+    # Within budget on every iteration, and averages never exceed peaks.
+    assert max(peaks) < MEMORY_CEILING_BYTES
+    assert all(avg <= peak for avg, peak in zip(averages, peaks))
+
+    # Iterations that reuse heavily (PPR-only changes) use no more memory than
+    # the initial full computation.
+    first_peak = peaks[0]
+    for peak, kind in zip(peaks[1:], result.iteration_types()[1:]):
+        if kind == IterationType.PPR:
+            assert peak <= first_peak * 1.05

@@ -1,0 +1,47 @@
+"""Figure 6: per-iteration run-time breakdown (DPR / L/I / PPR / materialization) for Helix.
+
+One benchmark per workflow, printing the breakdown table and asserting the
+paper's qualitative observations: PPR-only iterations touch (almost) only the
+PPR component, and materialization overhead stays well below compute time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_breakdown_table
+from repro.experiments.runner import run_lifecycle
+from repro.systems.helix import HelixSystem
+from repro.workloads import IterationType
+
+from _bench_helpers import ITERATIONS, SEED, emit, run_once
+
+
+def _run(workload: str):
+    return run_lifecycle(
+        HelixSystem.opt(seed=0), workload, n_iterations=ITERATIONS[workload], seed=SEED
+    )
+
+
+@pytest.mark.parametrize("workload", ["census", "genomics", "nlp", "mnist"])
+def test_fig6_breakdown(benchmark, workload):
+    result = run_once(benchmark, lambda: _run(workload))
+    breakdowns = result.component_breakdowns()
+    types = result.iteration_types()
+    emit(
+        f"Figure 6 — {workload}: per-iteration breakdown (s)",
+        format_breakdown_table(breakdowns) + "\niteration types: " + " ".join(types),
+    )
+
+    first = breakdowns[0]
+    assert first["DPR"] > 0 and first["L/I"] > 0
+
+    # On PPR iterations the DPR and L/I components are (near-)zero: those
+    # subtrees are pruned or loaded, not recomputed.
+    for breakdown, kind in zip(breakdowns[1:], types[1:]):
+        if kind == IterationType.PPR:
+            assert breakdown["DPR"] + breakdown["L/I"] < first["DPR"] + first["L/I"]
+
+    # Materialization overhead never dominates an iteration's compute time on
+    # the initial run (the paper's "considerably less time" observation).
+    assert first["Mat."] < first["DPR"] + first["L/I"] + first["PPR"]

@@ -1,0 +1,58 @@
+"""Table 2: workflow characteristics and per-system support matrix.
+
+Regenerates the support/characteristics table by interrogating the workload
+registry and each comparator system's ``supports`` method, and checks that
+the matrix matches the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import format_table2, table2_rows
+from repro.systems.deepdive import DeepDiveSystem
+from repro.systems.helix import HelixSystem
+from repro.systems.keystoneml import KeystoneMLSystem
+from repro.workloads import WORKLOADS, get_workload
+
+from _bench_helpers import emit, run_once
+
+
+def test_table2_characteristics(benchmark):
+    """Build every workload's DAG and print the Table 2 matrix."""
+
+    def build_all():
+        summaries = {}
+        for name in ("census", "genomics", "nlp", "mnist"):
+            workload = get_workload(name)
+            dag = workload.build(workload.initial_config()).compile()
+            summaries[name] = dag.summary()
+        return summaries
+
+    summaries = run_once(benchmark, build_all)
+    emit("Table 2 — workflow characteristics", format_table2())
+    emit(
+        "Compiled DAG sizes",
+        "\n".join(f"{name}: {summary}" for name, summary in summaries.items()),
+    )
+
+    rows = table2_rows()
+    # Support matrix must match the paper exactly.
+    assert rows["Supported by HELIX"] == {"Census": True, "Genomics": True, "IE": True, "MNIST": True}
+    assert rows["Supported by KeystoneML"] == {"Census": True, "Genomics": True, "IE": False, "MNIST": True}
+    assert rows["Supported by DeepDive"] == {"Census": True, "Genomics": False, "IE": True, "MNIST": False}
+
+
+def test_table2_system_support_methods(benchmark):
+    """The comparator systems' support methods agree with Table 2."""
+
+    def probe():
+        systems = {"keystoneml": KeystoneMLSystem(), "deepdive": DeepDiveSystem(), "helix": HelixSystem.opt()}
+        return {
+            system_name: {workload: system.supports(workload) for workload in sorted(WORKLOADS)}
+            for system_name, system in systems.items()
+        }
+
+    support = run_once(benchmark, probe)
+    emit("System support matrix", "\n".join(f"{k}: {v}" for k, v in support.items()))
+    assert support["helix"] == {"census": True, "genomics": True, "mnist": True, "nlp": True}
+    assert support["keystoneml"]["nlp"] is False
+    assert support["deepdive"]["genomics"] is False and support["deepdive"]["mnist"] is False

@@ -1,0 +1,124 @@
+"""Build a custom workflow from scratch with the DSL (no pre-packaged workload).
+
+The scenario: product reviews arrive as raw text lines ``"<stars>\t<review>"``;
+we want to predict whether a review is positive (>= 4 stars) from bag-of-words
+and length features, and iterate on the feature set.  This shows how to use
+the DSL directly — declaring a data source, a scanner, extractors (including a
+UDF extractor), example assembly, a learner and a reducer — and how Helix
+behaves when *you* change one line of the program.
+
+Run with::
+
+    python examples/custom_workflow.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core import (
+    DataSource,
+    FeatureVector,
+    FieldExtractor,
+    FunctionExtractor,
+    Learner,
+    Reducer,
+    Scanner,
+    Workflow,
+)
+from repro.ml import LogisticRegression, accuracy, tokenize
+from repro.ml.preprocessing import HashingVectorizer
+from repro.systems import HelixSystem
+
+POSITIVE_PHRASES = ["great product", "works perfectly", "highly recommend", "love it", "excellent value"]
+NEGATIVE_PHRASES = ["stopped working", "poor quality", "waste of money", "very disappointed", "broke after"]
+NEUTRAL_FILLER = ["arrived on time", "standard packaging", "as described", "bought for my office"]
+
+
+def generate_reviews(context, n_train: int = 800, n_test: int = 200, seed: int = 3):
+    """Synthetic review lines: ``stars<TAB>text`` with sentiment-bearing phrases."""
+    rng = np.random.default_rng(seed)
+
+    def make(count: int) -> List[Dict[str, str]]:
+        rows = []
+        for _ in range(count):
+            positive = rng.random() < 0.5
+            phrases = POSITIVE_PHRASES if positive else NEGATIVE_PHRASES
+            text = " ".join(
+                [phrases[int(rng.integers(len(phrases)))]]
+                + list(rng.choice(NEUTRAL_FILLER, size=2))
+            )
+            stars = int(rng.integers(4, 6)) if positive else int(rng.integers(1, 4))
+            rows.append({"line": f"{stars}\t{text}"})
+        return rows
+
+    return make(n_train), make(n_test)
+
+
+def parse_review(record):
+    """Scanner UDF: split the raw line into stars / text / label fields."""
+    stars_text = str(record.get("line", "")).split("\t", 1)
+    if len(stars_text) != 2:
+        return []
+    stars, text = stars_text
+    return [record.with_fields(stars=int(stars), text=text, label=int(int(stars) >= 4))]
+
+
+def build_workflow(use_length_feature: bool, hashing_dims: int = 64) -> Workflow:
+    """Declare the review-sentiment workflow; flags mirror developer edits."""
+    wf = Workflow("reviews")
+    wf.data_source("raw", DataSource(generator=generate_reviews))
+    wf.scan("reviews", "raw", Scanner(parse_review, name="parse_review"))
+
+    vectorizer = HashingVectorizer(n_features=hashing_dims, seed=11)
+
+    def bag_of_words(record) -> FeatureVector:
+        counts = vectorizer.transform_one(tokenize(str(record.get("text", ""))))
+        return FeatureVector({f"bow_{i}": float(v) for i, v in enumerate(counts) if v})
+
+    bag_of_words._version = hashing_dims
+
+    def review_length(record) -> FeatureVector:
+        return FeatureVector.scalar("length", float(len(tokenize(str(record.get("text", ""))))))
+
+    wf.extractor("bow", "reviews", FunctionExtractor("bow", bag_of_words))
+    wf.extractor("length", "reviews", FunctionExtractor("length", review_length))
+    wf.extractor("label", "reviews", FieldExtractor("label", as_categorical=False))
+
+    active = ["bow"] + (["length"] if use_length_feature else [])
+    wf.has_extractors("reviews", active)
+    wf.examples("examples", "reviews", extractors=active, label="label")
+    wf.learner("sentiment", "examples", Learner(LogisticRegression, params={"reg_param": 0.01}))
+
+    def check(collection) -> Dict[str, float]:
+        labels = [e.label for e in collection if e.prediction is not None]
+        predictions = [e.prediction for e in collection if e.prediction is not None]
+        return {"accuracy": accuracy(labels, predictions), "n": float(len(labels))}
+
+    wf.reducer("quality", "sentiment", Reducer(check, name="check"))
+    wf.output("quality")
+    return wf
+
+
+def main() -> None:
+    helix = HelixSystem.opt(seed=0)
+
+    print("== iteration 0: bag-of-words only ==")
+    stats = helix.run_iteration(build_workflow(use_length_feature=False), iteration=0)
+    print("run time  ", round(stats.total_time, 3), "s   accuracy", stats.outputs["quality"])
+
+    print("\n== iteration 1: identical program re-run (everything reused) ==")
+    stats = helix.run_iteration(build_workflow(use_length_feature=False), iteration=1)
+    print("run time  ", round(stats.total_time, 4), "s   state fractions", stats.state_fractions())
+
+    print("\n== iteration 2: add a review-length feature (one DSL line changed) ==")
+    stats = helix.run_iteration(build_workflow(use_length_feature=True), iteration=2)
+    print("run time  ", round(stats.total_time, 3), "s   accuracy", stats.outputs["quality"])
+    print("recomputed:", stats.nodes_in_state(__import__("repro.optimizer.oep", fromlist=["NodeState"]).NodeState.COMPUTE))
+    print("the parsed reviews and unchanged extractors were loaded or pruned, not recomputed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Setup shim for environments without the `wheel` package (legacy editable installs)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Python reproduction of Helix: Holistic Optimization for Accelerating "
+        "Iterative Machine Learning (VLDB 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,66 @@
+"""repro — a Python reproduction of Helix (VLDB 2018).
+
+Helix is a declarative machine-learning workflow system that optimizes
+execution *across iterations* of workflow development: it tracks which
+operators changed, decides per node whether to load a previously materialized
+result, recompute it, or prune it (an exact max-flow-based algorithm), and
+decides during execution which intermediates to materialize for future reuse
+(an NP-hard problem approximated with a streaming heuristic).
+
+Public API overview
+-------------------
+
+* :mod:`repro.core` — data model, operators, the HML-style workflow DSL,
+  the Workflow DAG and cross-iteration change tracking.
+* :mod:`repro.optimizer` — OPT-EXEC-PLAN (max-flow), OPT-MAT-PLAN policies,
+  pruning, cost estimation.
+* :mod:`repro.execution` — the execution engine, caches, cost models and run
+  statistics.
+* :mod:`repro.storage` — the materialization store (disk or in-memory).
+* :mod:`repro.ml` — the from-scratch ML substrate (linear models, k-means,
+  naive Bayes, embeddings, preprocessing, metrics, text utilities).
+* :mod:`repro.workloads` — the four evaluation workloads with synthetic data.
+* :mod:`repro.systems` — Helix OPT/AM/NM plus KeystoneML- and DeepDive-style
+  comparators.
+* :mod:`repro.experiments` — the experiment harness reproducing every table
+  and figure in the paper's evaluation.
+
+Quickstart
+----------
+
+>>> from repro.systems import HelixSystem
+>>> from repro.workloads import get_workload
+>>> from repro.experiments import run_lifecycle
+>>> result = run_lifecycle(HelixSystem.opt(), get_workload("census"), n_iterations=3)
+>>> len(result.iterations)
+3
+"""
+
+from . import core, execution, experiments, ml, optimizer, storage, systems, workloads
+from .core import Workflow
+from .exceptions import HelixError
+from .experiments import run_comparison, run_lifecycle
+from .systems import DeepDiveSystem, HelixSystem, KeystoneMLSystem
+from .workloads import get_workload
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "core",
+    "execution",
+    "experiments",
+    "ml",
+    "optimizer",
+    "storage",
+    "systems",
+    "workloads",
+    "Workflow",
+    "HelixError",
+    "run_comparison",
+    "run_lifecycle",
+    "DeepDiveSystem",
+    "HelixSystem",
+    "KeystoneMLSystem",
+    "get_workload",
+    "__version__",
+]

@@ -1,0 +1,268 @@
+"""The Workflow DAG: Helix's intermediate representation.
+
+Definition 1 of the paper: for a Workflow containing operators ``F = {f_i}``
+the Workflow DAG is a directed acyclic graph ``G_W = (N, E)`` where node
+``n_i`` represents the output of ``f_i`` and ``(n_i, n_j) in E`` if the output
+of ``f_i`` is an input to ``f_j``.
+
+This module provides :class:`Node` and :class:`WorkflowDAG` with the graph
+queries the compiler and optimizers need: topological ordering, ancestor /
+descendant closure, output-driven slicing (program slicing, Section 5.4) and
+structural validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..exceptions import CycleError, DAGError
+from .operators import Component, Operator
+
+__all__ = ["Node", "WorkflowDAG"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A node in the Workflow DAG: the output of one operator.
+
+    Attributes
+    ----------
+    name:
+        Unique node name (the declared variable name in the DSL).
+    operator:
+        The operator whose output this node represents.
+    parents:
+        Names of the nodes whose outputs are inputs to the operator, in
+        declaration order (the order in which values are passed to
+        ``operator.run``).
+    is_output:
+        Whether the node was declared with ``is_output()`` and must be
+        produced (and materialized) every iteration.
+    component:
+        Workflow component for run-time breakdowns; defaults to the
+        operator's own component.
+    """
+
+    name: str
+    operator: Operator
+    parents: Tuple[str, ...] = ()
+    is_output: bool = False
+    component: Component = Component.DPR
+
+    @staticmethod
+    def create(
+        name: str,
+        operator: Operator,
+        parents: Sequence[str] = (),
+        is_output: bool = False,
+        component: Optional[Component] = None,
+    ) -> "Node":
+        return Node(
+            name=name,
+            operator=operator,
+            parents=tuple(parents),
+            is_output=is_output,
+            component=component or operator.component,
+        )
+
+
+class WorkflowDAG:
+    """A directed acyclic graph of operator outputs.
+
+    The DAG is immutable once constructed; derived DAGs (e.g. sliced to the
+    output cone) are new objects sharing node instances.
+    """
+
+    def __init__(self, nodes: Iterable[Node], name: str = "workflow"):
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        for node in nodes:
+            if node.name in self._nodes:
+                raise DAGError(f"duplicate node name: {node.name!r}")
+            self._nodes[node.name] = node
+        self._children: Dict[str, List[str]] = {name: [] for name in self._nodes}
+        for node in self._nodes.values():
+            for parent in node.parents:
+                if parent not in self._nodes:
+                    raise DAGError(
+                        f"node {node.name!r} references undeclared parent {parent!r}"
+                    )
+                self._children[parent].append(node.name)
+        self._order = self._topological_sort()
+
+    # -- container protocol --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return (self._nodes[name] for name in self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise DAGError(f"unknown node: {name!r}") from None
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        return tuple(self._order)
+
+    @property
+    def nodes(self) -> Mapping[str, Node]:
+        return dict(self._nodes)
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        return tuple(n for n in self._order if self._nodes[n].is_output)
+
+    @property
+    def edges(self) -> Tuple[Tuple[str, str], ...]:
+        """All ``(parent, child)`` edges."""
+        result: List[Tuple[str, str]] = []
+        for node in self._nodes.values():
+            for parent in node.parents:
+                result.append((parent, node.name))
+        return tuple(sorted(result))
+
+    # -- graph queries ---------------------------------------------------------
+    def parents(self, name: str) -> Tuple[str, ...]:
+        return self.node(name).parents
+
+    def children(self, name: str) -> Tuple[str, ...]:
+        self.node(name)
+        return tuple(self._children[name])
+
+    def roots(self) -> Tuple[str, ...]:
+        return tuple(n for n in self._order if not self._nodes[n].parents)
+
+    def sinks(self) -> Tuple[str, ...]:
+        return tuple(n for n in self._order if not self._children[n])
+
+    def ancestors(self, name: str) -> FrozenSet[str]:
+        """All transitive ancestors of ``name`` (excluding ``name`` itself)."""
+        seen: Set[str] = set()
+        stack = list(self.node(name).parents)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._nodes[current].parents)
+        return frozenset(seen)
+
+    def descendants(self, name: str) -> FrozenSet[str]:
+        """All transitive descendants of ``name`` (excluding ``name`` itself)."""
+        seen: Set[str] = set()
+        stack = list(self._children[name]) if name in self._children else []
+        self.node(name)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._children[current])
+        return frozenset(seen)
+
+    def topological_order(self) -> Tuple[str, ...]:
+        """Node names in a deterministic topological order."""
+        return tuple(self._order)
+
+    def _topological_sort(self) -> List[str]:
+        in_degree = {name: len(node.parents) for name, node in self._nodes.items()}
+        ready = sorted(name for name, degree in in_degree.items() if degree == 0)
+        order: List[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            newly_ready = []
+            for child in self._children[current]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    newly_ready.append(child)
+            if newly_ready:
+                ready = sorted(ready + newly_ready)
+        if len(order) != len(self._nodes):
+            remaining = sorted(set(self._nodes) - set(order))
+            raise CycleError(f"workflow DAG contains a cycle involving {remaining}")
+        return order
+
+    # -- transformations -------------------------------------------------------
+    def sliced_to_outputs(self, outputs: Optional[Sequence[str]] = None) -> "WorkflowDAG":
+        """Program slicing: keep only nodes that contribute to the outputs.
+
+        Helix traverses the DAG backwards from the output nodes and prunes
+        away any node not visited (Section 5.4).  If no outputs are declared
+        the DAG is returned unchanged (nothing can be pruned safely).
+        """
+        targets = tuple(outputs) if outputs is not None else self.outputs
+        if not targets:
+            return self
+        keep: Set[str] = set()
+        for target in targets:
+            keep.add(target)
+            keep.update(self.ancestors(target))
+        return WorkflowDAG(
+            (self._nodes[name] for name in self._order if name in keep),
+            name=self.name,
+        )
+
+    def without_nodes(self, names: Iterable[str]) -> "WorkflowDAG":
+        """Return a DAG with the given nodes (and dangling edges) removed.
+
+        Children of removed nodes keep their remaining parents; this is used
+        by data-driven pruning where a feature extractor with zero model
+        weight is dropped.
+        """
+        drop = set(names)
+        new_nodes = []
+        for name in self._order:
+            if name in drop:
+                continue
+            node = self._nodes[name]
+            kept_parents = tuple(p for p in node.parents if p not in drop)
+            new_nodes.append(replace(node, parents=kept_parents))
+        return WorkflowDAG(new_nodes, name=self.name)
+
+    def relabel_outputs(self, outputs: Iterable[str]) -> "WorkflowDAG":
+        """Return a DAG with ``is_output`` set exactly on ``outputs``."""
+        wanted = set(outputs)
+        missing = wanted - set(self._nodes)
+        if missing:
+            raise DAGError(f"cannot mark unknown nodes as outputs: {sorted(missing)}")
+        return WorkflowDAG(
+            (replace(node, is_output=node.name in wanted) for node in self),
+            name=self.name,
+        )
+
+    # -- diagnostics -----------------------------------------------------------
+    def component_of(self, name: str) -> Component:
+        return self.node(name).component
+
+    def summary(self) -> Dict[str, int]:
+        """Node counts by component, plus edge count (used in reports/tests)."""
+        counts = {component.value: 0 for component in Component}
+        for node in self._nodes.values():
+            counts[node.component.value] += 1
+        counts["nodes"] = len(self._nodes)
+        counts["edges"] = len(self.edges)
+        counts["outputs"] = len(self.outputs)
+        return counts
+
+    def to_dot(self) -> str:
+        """Render the DAG in Graphviz dot format (for documentation/debugging)."""
+        lines = [f'digraph "{self.name}" {{']
+        palette = {Component.DPR: "#b39ddb", Component.LI: "#ffcc80", Component.PPR: "#a5d6a7"}
+        for name in self._order:
+            node = self._nodes[name]
+            shape = "doubleoctagon" if node.is_output else "box"
+            lines.append(
+                f'  "{name}" [shape={shape}, style=filled, fillcolor="{palette[node.component]}"];'
+            )
+        for parent, child in self.edges:
+            lines.append(f'  "{parent}" -> "{child}";')
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,386 @@
+"""Data model for Helix workflows.
+
+The paper (Section 3.2.1) distinguishes two element types inside a *data
+collection* (DC):
+
+* **Semantic units** (SUs) compartmentalize the logical and physical
+  representation of features during data preprocessing (DPR).  An SU carries
+  an input (records or feature values), a pointer to the DPR function that
+  produced it, and a lazily produced output.
+* **Examples** gather the outputs of a set of SUs into a single feature vector
+  for learning/inference (L/I), optionally designating one SU output as the
+  label.
+
+This module implements :class:`Record`, :class:`FeatureVector` (dense and
+sparse), :class:`SemanticUnit`, :class:`Example` and :class:`DataCollection`.
+A :class:`DataCollection` is analogous to a relation: an ordered, immutable
+sequence of homogeneous elements together with a ``split`` tag per element
+("train" / "test" / "all") used for unified train/test handling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+__all__ = [
+    "Split",
+    "Record",
+    "FeatureVector",
+    "SemanticUnit",
+    "Example",
+    "DataCollection",
+    "ElementKind",
+]
+
+
+class Split(str, Enum):
+    """Which portion of the dataset an element belongs to."""
+
+    TRAIN = "train"
+    TEST = "test"
+    ALL = "all"
+
+
+class ElementKind(str, Enum):
+    """Kind of elements stored in a :class:`DataCollection`."""
+
+    RECORD = "record"
+    SEMANTIC_UNIT = "semantic_unit"
+    EXAMPLE = "example"
+    GENERIC = "generic"
+
+
+@dataclass(frozen=True)
+class Record:
+    """A raw data object in a format not yet compatible with ML.
+
+    A record is a mapping from field names to values (think: a parsed CSV row,
+    a JSON document, or a free-text article stored under a single key).  The
+    optional ``split`` tag marks whether the record belongs to the training or
+    the test portion of the data source.
+    """
+
+    fields: Mapping[str, Any]
+    split: Split = Split.ALL
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.fields
+
+    def keys(self) -> Iterable[str]:
+        return self.fields.keys()
+
+    def with_fields(self, **extra: Any) -> "Record":
+        """Return a copy of this record with additional or overridden fields."""
+        merged = dict(self.fields)
+        merged.update(extra)
+        return Record(fields=merged, split=self.split)
+
+
+class FeatureVector:
+    """A named feature vector with either a sparse or a dense representation.
+
+    Sparse categorical features are kept as a ``{name: value}`` mapping until
+    final assembly (mirroring the paper's key-value representation), while
+    dense features are stored as a NumPy array with generated names.  Feature
+    vectors support concatenation and conversion to a dense array given a
+    global feature index.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Optional[Mapping[str, float]] = None):
+        self._values: Dict[str, float] = dict(values or {})
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_dense(cls, array: Sequence[float], prefix: str = "f") -> "FeatureVector":
+        """Build a feature vector from a dense array, naming features ``prefix_i``."""
+        arr = np.asarray(array, dtype=float).ravel()
+        return cls({f"{prefix}_{i}": float(v) for i, v in enumerate(arr)})
+
+    @classmethod
+    def one_hot(cls, name: str, category: Any) -> "FeatureVector":
+        """Build a one-hot (indicator) feature ``name=category -> 1.0``."""
+        return cls({f"{name}={category}": 1.0})
+
+    @classmethod
+    def scalar(cls, name: str, value: float) -> "FeatureVector":
+        """Build a single-feature vector."""
+        return cls({name: float(value)})
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._values))
+
+    def items(self) -> Iterable[Tuple[str, float]]:
+        return self._values.items()
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FeatureVector):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(f"{k}={v:g}" for k, v in sorted(self._values.items())[:4])
+        suffix = ", ..." if len(self._values) > 4 else ""
+        return f"FeatureVector({preview}{suffix})"
+
+    # -- operations --------------------------------------------------------
+    def concat(self, *others: "FeatureVector") -> "FeatureVector":
+        """Concatenate feature vectors (feature names must not collide)."""
+        merged = dict(self._values)
+        for other in others:
+            for name, value in other.items():
+                if name in merged and merged[name] != value:
+                    raise ValueError(
+                        f"feature name collision on '{name}' during concatenation"
+                    )
+                merged[name] = value
+        return FeatureVector(merged)
+
+    def to_dense(self, index: Mapping[str, int]) -> np.ndarray:
+        """Convert to a dense array according to a global ``name -> position`` index."""
+        dense = np.zeros(len(index), dtype=float)
+        for name, value in self._values.items():
+            position = index.get(name)
+            if position is not None:
+                dense[position] = value
+        return dense
+
+    def norm(self) -> float:
+        """Euclidean norm of the feature values."""
+        return math.sqrt(sum(v * v for v in self._values.values()))
+
+
+@dataclass
+class SemanticUnit:
+    """The DPR data structure: input, the producing function name, lazy output.
+
+    ``output`` is either a :class:`FeatureVector` (the common case for feature
+    extraction), a record, or any intermediate value produced by a DPR
+    function.  ``source`` names the operator that produced the SU, which is
+    what allows examples to be assembled from named extractor outputs and is
+    also the hook used for provenance tracking (data-driven pruning).
+    """
+
+    input: Any
+    source: str
+    output: Any = None
+    split: Split = Split.ALL
+
+    @property
+    def has_features(self) -> bool:
+        """Whether the SU output is a feature vector usable for learning."""
+        return isinstance(self.output, FeatureVector)
+
+
+@dataclass
+class Example:
+    """The L/I data structure: a set of SU outputs assembled into one vector.
+
+    ``features`` is the concatenated feature vector, ``label`` the optional
+    supervised label, ``split`` the train/test designation and ``provenance``
+    maps each feature name back to the extractor (SU source) that produced it.
+    """
+
+    features: FeatureVector
+    label: Optional[float] = None
+    split: Split = Split.ALL
+    provenance: Dict[str, str] = field(default_factory=dict)
+    prediction: Optional[float] = None
+    score: Optional[float] = None
+
+    def with_prediction(self, prediction: float, score: Optional[float] = None) -> "Example":
+        """Return a copy of this example annotated with an inference result."""
+        return Example(
+            features=self.features,
+            label=self.label,
+            split=self.split,
+            provenance=dict(self.provenance),
+            prediction=prediction,
+            score=score,
+        )
+
+
+class DataCollection:
+    """An ordered, homogeneous collection of elements (the paper's DC).
+
+    Data collections are immutable: transformations return new collections.
+    ``kind`` records the element type so that downstream operators can check
+    their inputs, and convenience selectors (:meth:`train`, :meth:`test`)
+    implement the unified train/test handling from Section 3.2.1.
+    """
+
+    __slots__ = ("name", "elements", "kind")
+
+    def __init__(
+        self,
+        name: str,
+        elements: Iterable[Any],
+        kind: ElementKind = ElementKind.GENERIC,
+    ):
+        self.name = name
+        self.elements: Tuple[Any, ...] = tuple(elements)
+        self.kind = kind
+
+    # -- basic container protocol ------------------------------------------
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.elements)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.elements[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataCollection({self.name!r}, n={len(self.elements)}, kind={self.kind.value})"
+
+    # -- selectors ----------------------------------------------------------
+    def _split_of(self, element: Any) -> Split:
+        split = getattr(element, "split", Split.ALL)
+        return split if isinstance(split, Split) else Split(split)
+
+    def filter(self, predicate: Callable[[Any], bool], name: Optional[str] = None) -> "DataCollection":
+        """Return a new collection containing only the elements matching ``predicate``."""
+        return DataCollection(
+            name or self.name,
+            (e for e in self.elements if predicate(e)),
+            kind=self.kind,
+        )
+
+    def train(self) -> "DataCollection":
+        """Elements belonging to the training split (or untagged elements)."""
+        return self.filter(
+            lambda e: self._split_of(e) in (Split.TRAIN, Split.ALL),
+            name=f"{self.name}[train]",
+        )
+
+    def test(self) -> "DataCollection":
+        """Elements belonging to the test split (or untagged elements)."""
+        return self.filter(
+            lambda e: self._split_of(e) in (Split.TEST, Split.ALL),
+            name=f"{self.name}[test]",
+        )
+
+    def map(self, fn: Callable[[Any], Any], name: Optional[str] = None,
+            kind: Optional[ElementKind] = None) -> "DataCollection":
+        """Apply ``fn`` to every element, returning a new collection."""
+        return DataCollection(
+            name or self.name,
+            (fn(e) for e in self.elements),
+            kind=kind or self.kind,
+        )
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]], name: Optional[str] = None,
+                 kind: Optional[ElementKind] = None) -> "DataCollection":
+        """Apply ``fn`` producing zero or more elements per input element."""
+        def _generate() -> Iterator[Any]:
+            for element in self.elements:
+                for produced in fn(element):
+                    yield produced
+
+        return DataCollection(name or self.name, _generate(), kind=kind or self.kind)
+
+    # -- ML helpers ----------------------------------------------------------
+    def feature_index(self) -> Dict[str, int]:
+        """Build a deterministic global ``feature name -> column`` index.
+
+        The order of SUs/features in the final assembly is determined globally
+        across the dataset (paper, Section 3.2.1); here we sort names so that
+        the index is stable across runs and across train/test splits.
+        """
+        names: set = set()
+        for element in self.elements:
+            features = getattr(element, "features", None)
+            if isinstance(features, FeatureVector):
+                names.update(features.names)
+            elif isinstance(element, FeatureVector):
+                names.update(element.names)
+        return {name: position for position, name in enumerate(sorted(names))}
+
+    def to_matrix(
+        self, index: Optional[Mapping[str, int]] = None
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, int]]:
+        """Convert a collection of examples to ``(X, y, index)`` dense matrices.
+
+        Examples without labels get ``nan`` in ``y``.
+        """
+        if index is None:
+            index = self.feature_index()
+        rows: List[np.ndarray] = []
+        labels: List[float] = []
+        for element in self.elements:
+            if not isinstance(element, Example):
+                raise TypeError(
+                    f"to_matrix requires Example elements, got {type(element).__name__}"
+                )
+            rows.append(element.features.to_dense(index))
+            labels.append(float("nan") if element.label is None else float(element.label))
+        if rows:
+            X = np.vstack(rows)
+        else:
+            X = np.zeros((0, len(index)))
+        return X, np.asarray(labels, dtype=float), dict(index)
+
+    def estimated_size_bytes(self) -> int:
+        """A cheap size estimate used by the cache/memory tracker.
+
+        The estimate intentionally avoids a full pickle round trip: it counts
+        feature entries, record fields and dense array bytes.
+        """
+        total = 64
+        for element in self.elements:
+            total += 56
+            features = getattr(element, "features", None)
+            if isinstance(features, FeatureVector):
+                total += 48 * len(features)
+            if isinstance(element, FeatureVector):
+                total += 48 * len(element)
+            if isinstance(element, SemanticUnit) and isinstance(element.output, FeatureVector):
+                total += 48 * len(element.output)
+            fields = getattr(element, "fields", None)
+            if isinstance(fields, Mapping):
+                for value in fields.values():
+                    if isinstance(value, str):
+                        total += 40 + len(value)
+                    elif isinstance(value, np.ndarray):
+                        total += int(value.nbytes)
+                    else:
+                        total += 32
+            if isinstance(element, np.ndarray):
+                total += int(element.nbytes)
+        return total

@@ -1,0 +1,154 @@
+"""A fluent, HML-flavoured facade over :class:`~repro.core.workflow.Workflow`.
+
+The paper's DSL reads like prose::
+
+    data refers_to FileSource(...)
+    data is_read_into rows using CSVScanner(...)
+    rows has_extractors (eduExt, ageBucket, target)
+    income results_from rows with_labels target
+    checked is_output()
+
+This module provides :class:`HML`, whose named handles support the same verbs
+as chained method calls, for users who want their Python workflow programs to
+mirror the paper's listings closely::
+
+    hml = HML("census")
+    hml["data"].refers_to(DataSource(...))
+    hml["data"].is_read_into("rows", using=CSVScanner([...]))
+    hml["ageExt"].refers_to(FieldExtractor("age"), on="rows")
+    hml["rows"].has_extractors("eduExt", "ageExt", "target")
+    hml["income"].results_from("rows", with_labels="target")
+    hml["incPred"].refers_to(Learner(...), on="income", produces="predictions")
+    hml["checked"].results_from_reducer(Reducer(...), on="predictions", uses=["target"])
+    hml["checked"].is_output()
+    dag = hml.compile()
+
+Everything ultimately delegates to the plain :class:`Workflow` builder, so the
+two styles can be mixed freely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from ..exceptions import WorkflowSpecError
+from .operators import (
+    DataSource,
+    Extractor,
+    Learner,
+    Operator,
+    Reducer,
+    Scanner,
+    Synthesizer,
+)
+from .workflow import Workflow
+
+__all__ = ["HML", "HMLName"]
+
+
+class HMLName:
+    """A named handle inside an :class:`HML` program supporting the HML verbs."""
+
+    def __init__(self, program: "HML", name: str):
+        self._program = program
+        self.name = name
+
+    # ------------------------------------------------------------------ verbs
+    def refers_to(
+        self,
+        operator: Operator,
+        on: Union[str, Sequence[str], None] = None,
+        produces: Optional[str] = None,
+    ) -> "HMLName":
+        """``name refers_to <operator>`` — declare what this name stands for.
+
+        ``on`` supplies the upstream name(s) for operators that need inputs
+        (extractors, learners, reducers, synthesizers); ``produces`` names the
+        output node for learners (defaults to the handle's own name).
+        """
+        wf = self._program.workflow
+        inputs = [on] if isinstance(on, str) else list(on or [])
+        if isinstance(operator, DataSource):
+            wf.data_source(self.name, operator)
+        elif isinstance(operator, Scanner):
+            if len(inputs) != 1:
+                raise WorkflowSpecError("a Scanner declared via refers_to needs exactly one 'on' input")
+            wf.scan(self.name, inputs[0], operator)
+        elif isinstance(operator, Extractor):
+            if not inputs:
+                raise WorkflowSpecError("an Extractor declared via refers_to needs an 'on' input")
+            wf.extractor(self.name, inputs if len(inputs) > 1 else inputs[0], operator)
+        elif isinstance(operator, Learner):
+            if len(inputs) != 1:
+                raise WorkflowSpecError("a Learner declared via refers_to needs exactly one 'on' input")
+            wf.learner(produces or self.name, inputs[0], operator)
+        elif isinstance(operator, Reducer):
+            if not inputs:
+                raise WorkflowSpecError("a Reducer declared via refers_to needs an 'on' input")
+            wf.reducer(produces or self.name, inputs, operator)
+        elif isinstance(operator, Synthesizer):
+            wf.synthesize(self.name, inputs, operator)
+        else:
+            wf.node(self.name, operator, parents=inputs)
+        return self
+
+    def is_read_into(self, target: str, using: Scanner) -> "HMLName":
+        """``source is_read_into target using scanner``."""
+        self._program.workflow.scan(target, self.name, using)
+        return self._program[target]
+
+    def has_extractors(self, *extractors: str) -> "HMLName":
+        """``dc has_extractors (e1, e2, ...)``."""
+        self._program.workflow.has_extractors(self.name, list(extractors))
+        return self
+
+    def results_from(
+        self,
+        base: str,
+        with_labels: Optional[str] = None,
+        extractors: Optional[Sequence[str]] = None,
+    ) -> "HMLName":
+        """``examples results_from base with_labels target`` — example assembly."""
+        self._program.workflow.examples(
+            self.name, base, extractors=extractors, label=with_labels
+        )
+        return self
+
+    def results_from_reducer(
+        self, reducer: Reducer, on: Union[str, Sequence[str]], uses: Sequence[str] = ()
+    ) -> "HMLName":
+        """``scalar results_from reducer on dc`` with optional ``uses`` dependencies."""
+        self._program.workflow.reducer(self.name, on, reducer, uses=uses)
+        return self
+
+    def uses(self, *dependencies: str) -> "HMLName":
+        """``name uses (a, b)`` — declare hidden UDF dependencies."""
+        self._program.workflow.uses(self.name, list(dependencies))
+        return self
+
+    def is_output(self) -> "HMLName":
+        """``name is_output()``."""
+        self._program.workflow.output(self.name)
+        return self
+
+
+class HML:
+    """An HML-style program: a thin indexing facade over :class:`Workflow`."""
+
+    def __init__(self, name: str = "workflow", workflow: Optional[Workflow] = None):
+        self.workflow = workflow if workflow is not None else Workflow(name)
+        self._handles: Dict[str, HMLName] = {}
+
+    def __getitem__(self, name: str) -> HMLName:
+        handle = self._handles.get(name)
+        if handle is None:
+            handle = HMLName(self, name)
+            self._handles[name] = handle
+        return handle
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.workflow
+
+    def compile(self):
+        """Compile the underlying workflow into a :class:`WorkflowDAG`."""
+        return self.workflow.compile()

@@ -1,0 +1,780 @@
+"""Operator interfaces for Helix workflows.
+
+Section 3.1 of the paper argues that ML workflow operations decompose into a
+small set of basis functions (parsing, join, feature extraction, feature
+transformation, feature concatenation, learning, inference, reduce).  Section
+3.2.2 exposes these through five operator interfaces which this module
+implements:
+
+* :class:`DataSource` — reads/creates raw records (root nodes of the DAG).
+* :class:`Scanner` — parsing; a flatMap from records to records/semantic units.
+* :class:`Extractor` — feature extraction and (possibly learned) feature
+  transformation; operates on semantic units.
+* :class:`Synthesizer` — join / example assembly; gathers SU outputs into
+  :class:`~repro.core.data.Example` elements with optional labels.
+* :class:`Learner` — learning + inference in a single operator.
+* :class:`Reducer` — PPR; reduces a DC (and an optional scalar) to a scalar.
+
+Every operator carries a *configuration signature* used for representational
+equivalence checking across iterations (Section 4.2): an operator is
+considered unchanged if its declaration — class, parameters, and UDF code —
+is unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import uuid
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import OperatorError, WorkflowSpecError
+from .data import (
+    DataCollection,
+    ElementKind,
+    Example,
+    FeatureVector,
+    Record,
+    SemanticUnit,
+    Split,
+)
+
+__all__ = [
+    "Component",
+    "RunContext",
+    "Operator",
+    "DataSource",
+    "Scanner",
+    "CSVScanner",
+    "Extractor",
+    "FieldExtractor",
+    "Bucketizer",
+    "InteractionFeature",
+    "FunctionExtractor",
+    "Synthesizer",
+    "ExampleSynthesizer",
+    "JoinSynthesizer",
+    "Learner",
+    "PredictionsResult",
+    "Reducer",
+]
+
+
+class Component(str, Enum):
+    """Workflow component a node belongs to (used for run-time breakdowns)."""
+
+    DPR = "DPR"
+    LI = "L/I"
+    PPR = "PPR"
+
+
+@dataclass
+class RunContext:
+    """Ambient state passed to every operator invocation.
+
+    Attributes
+    ----------
+    seed:
+        Seed for any randomized operator (learners, samplers).  The execution
+        engine derives a per-node seed from this value so results are
+        reproducible.
+    num_workers:
+        Number of (simulated) workers; operators that model parallel work can
+        divide their cost by this value.
+    extras:
+        Free-form bag for application-specific configuration.
+    """
+
+    seed: int = 0
+    num_workers: int = 1
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def rng(self, salt: int = 0) -> np.random.Generator:
+        """A NumPy random generator derived from the context seed."""
+        return np.random.default_rng(self.seed + salt)
+
+
+def _callable_token(fn: Callable[..., Any]) -> str:
+    """A stable token describing a callable for signature purposes.
+
+    The token combines the qualified name, an optional explicit ``_version``
+    attribute (which user code can bump to signal a semantic change), and a
+    hash of the bytecode when available.  Builtins and C functions fall back
+    to their qualified name only.
+    """
+    parts: List[str] = [getattr(fn, "__qualname__", repr(fn))]
+    version = getattr(fn, "_version", None)
+    if version is not None:
+        parts.append(f"v{version}")
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        digest = hashlib.sha256(code.co_code).hexdigest()[:16]
+        parts.append(digest)
+        consts = tuple(c for c in code.co_consts if isinstance(c, (int, float, str, bool)))
+        parts.append(hashlib.sha256(repr(consts).encode()).hexdigest()[:8])
+    return ":".join(parts)
+
+
+def _normalize(value: Any) -> Any:
+    """Normalize configuration values so they can be hashed deterministically."""
+    if callable(value):
+        return _callable_token(value)
+    if isinstance(value, Mapping):
+        return {str(k): _normalize(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_normalize(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_normalize(v) for v in value)
+    if isinstance(value, np.ndarray):
+        return hashlib.sha256(value.tobytes()).hexdigest()
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class Operator(ABC):
+    """Base class for all Helix operators.
+
+    Subclasses implement :meth:`run` (the actual computation) and
+    :meth:`config` (the declaration parameters that define the operator's
+    behaviour for equivalence checking).
+    """
+
+    #: Which workflow component this operator belongs to.
+    component: Component = Component.DPR
+
+    #: Deterministic operators compute identical results on identical inputs.
+    #: Non-deterministic operators (e.g. a freshly seeded random featurizer)
+    #: are never considered equivalent across iterations, so their results
+    #: can never be reused — the situation the paper's MNIST workflow
+    #: exercises.
+    deterministic: bool = True
+
+    @abstractmethod
+    def run(self, inputs: Sequence[Any], context: RunContext) -> Any:
+        """Execute the operator on already-computed input values."""
+
+    def config(self) -> Dict[str, Any]:
+        """Parameters defining the operator's behaviour (default: none)."""
+        return {}
+
+    def config_signature(self) -> str:
+        """A stable hash of the operator class and configuration.
+
+        Two operators with the same class and configuration are assumed to
+        compute identical results on identical inputs (representational
+        equivalence, Section 4.2).  Non-deterministic operators mix in a
+        per-instance nonce so they are never equivalent to any other operator
+        instance, including their past selves.
+        """
+        payload = {"class": type(self).__name__, "config": _normalize(self.config())}
+        if not self.deterministic:
+            nonce = getattr(self, "_instance_nonce", None)
+            if nonce is None:
+                nonce = uuid.uuid4().hex
+                setattr(self, "_instance_nonce", nonce)
+            payload["nonce"] = nonce
+        encoded = json.dumps(payload, sort_keys=True, default=str).encode()
+        return hashlib.sha256(encoded).hexdigest()
+
+    def estimated_cost(self, input_sizes: Sequence[int]) -> float:
+        """Simulated compute cost (seconds) used by the simulated clock.
+
+        The default is proportional to total input size; operators with
+        markedly different cost profiles override this.
+        """
+        return 1e-6 * (sum(input_sizes) + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.config()})"
+
+
+# ---------------------------------------------------------------------------
+# Data sources
+# ---------------------------------------------------------------------------
+class DataSource(Operator):
+    """Root operator producing a collection of raw :class:`Record` elements.
+
+    A data source either reads CSV-style files from disk (``train_path`` /
+    ``test_path``) or calls a ``generator`` function (used by the synthetic
+    workloads).  Generated/loaded train and test records are concatenated
+    into a single DC with per-record split tags, implementing the paper's
+    unified train/test handling.
+    """
+
+    component = Component.DPR
+
+    def __init__(
+        self,
+        train_path: Optional[str] = None,
+        test_path: Optional[str] = None,
+        generator: Optional[Callable[[RunContext], Tuple[List[Mapping[str, Any]], List[Mapping[str, Any]]]]] = None,
+        params: Optional[Dict[str, Any]] = None,
+        cost: Optional[float] = None,
+    ):
+        if generator is None and train_path is None:
+            raise WorkflowSpecError("DataSource requires either file paths or a generator")
+        self.train_path = train_path
+        self.test_path = test_path
+        self.generator = generator
+        self.params = dict(params or {})
+        self._cost = cost
+
+    def config(self) -> Dict[str, Any]:
+        return {
+            "train_path": self.train_path,
+            "test_path": self.test_path,
+            "generator": self.generator,
+            "params": self.params,
+        }
+
+    def estimated_cost(self, input_sizes: Sequence[int]) -> float:
+        if self._cost is not None:
+            return self._cost
+        return super().estimated_cost(input_sizes)
+
+    @staticmethod
+    def _read_csv(path: str) -> List[Dict[str, Any]]:
+        import csv
+
+        with open(path, newline="") as handle:
+            return [dict(row) for row in csv.DictReader(handle)]
+
+    def run(self, inputs: Sequence[Any], context: RunContext) -> DataCollection:
+        if self.generator is not None:
+            train_rows, test_rows = self.generator(context, **self.params)
+        else:
+            train_rows = self._read_csv(self.train_path) if self.train_path else []
+            test_rows = self._read_csv(self.test_path) if self.test_path else []
+        records = [Record(fields=row, split=Split.TRAIN) for row in train_rows]
+        records += [Record(fields=row, split=Split.TEST) for row in test_rows]
+        return DataCollection("source", records, kind=ElementKind.RECORD)
+
+
+# ---------------------------------------------------------------------------
+# Scanners (parsing)
+# ---------------------------------------------------------------------------
+class Scanner(Operator):
+    """Parsing operator: a flatMap from each input element to zero or more.
+
+    ``fn`` receives one element and returns an iterable of output elements
+    (records or semantic units).  Because it may return zero elements it also
+    doubles as a filter.
+    """
+
+    component = Component.DPR
+
+    def __init__(self, fn: Callable[[Any], Iterable[Any]], name: Optional[str] = None,
+                 cost_per_element: float = 0.0):
+        self.fn = fn
+        self.name = name or getattr(fn, "__name__", "scanner")
+        self.cost_per_element = cost_per_element
+
+    def config(self) -> Dict[str, Any]:
+        return {"fn": self.fn, "name": self.name}
+
+    def run(self, inputs: Sequence[Any], context: RunContext) -> DataCollection:
+        (source,) = inputs
+        if not isinstance(source, DataCollection):
+            raise OperatorError(self.name, "Scanner input must be a DataCollection")
+        produced: List[Any] = []
+        for element in source:
+            for out in self.fn(element):
+                produced.append(out)
+        kind = ElementKind.RECORD if produced and isinstance(produced[0], Record) else ElementKind.SEMANTIC_UNIT
+        return DataCollection(self.name, produced, kind=kind)
+
+
+class CSVScanner(Scanner):
+    """Scanner that parses a delimited text field of each record into named columns.
+
+    Mirrors ``CSVScanner(Array("age", "education", ...))`` from the paper's
+    census example: each record is expected to hold a raw ``line`` field which
+    is split on ``delimiter`` and mapped onto ``columns``.  Records whose raw
+    line already parsed into fields pass through with the column subset.
+    """
+
+    def __init__(self, columns: Sequence[str], delimiter: str = ",", line_field: str = "line"):
+        self.columns = list(columns)
+        self.delimiter = delimiter
+        self.line_field = line_field
+        super().__init__(self._parse, name="csv_scanner")
+
+    def config(self) -> Dict[str, Any]:
+        return {
+            "columns": self.columns,
+            "delimiter": self.delimiter,
+            "line_field": self.line_field,
+        }
+
+    def _parse(self, record: Record) -> Iterable[Record]:
+        if self.line_field in record:
+            values = str(record[self.line_field]).split(self.delimiter)
+            fields = dict(zip(self.columns, (v.strip() for v in values)))
+        else:
+            fields = {c: record.get(c) for c in self.columns if c in record}
+        if not fields:
+            return []
+        return [Record(fields=fields, split=record.split)]
+
+
+# ---------------------------------------------------------------------------
+# Extractors (feature extraction / transformation)
+# ---------------------------------------------------------------------------
+class Extractor(Operator):
+    """Base class for feature extraction and transformation operators.
+
+    Extractors map a DC of records or semantic units to a DC of semantic
+    units whose outputs are :class:`FeatureVector` values.  Extractors whose
+    function must be *learned* from the data (e.g. discretization boundaries)
+    perform that learning inside :meth:`run`, as Helix's Learner/Extractor
+    interplay does.
+    """
+
+    component = Component.DPR
+
+    #: name used as the SU ``source`` tag; set by subclasses.
+    feature_name: str = "feature"
+
+    def _iter_inputs(self, collection: DataCollection) -> Iterable[Tuple[Any, Split, Any]]:
+        """Yield ``(raw_value, split, carrier)`` triples from records or SUs."""
+        for element in collection:
+            if isinstance(element, Record):
+                yield element, element.split, element
+            elif isinstance(element, SemanticUnit):
+                yield element.output, element.split, element
+            else:
+                yield element, Split.ALL, element
+
+
+class FieldExtractor(Extractor):
+    """Extract a single named field from each record as a feature.
+
+    Numeric-looking values become numeric features; other values become
+    one-hot categorical indicator features (the raw key-value representation
+    described in Section 3.2.1).
+    """
+
+    def __init__(self, field_name: str, as_categorical: Optional[bool] = None):
+        self.field_name = field_name
+        self.as_categorical = as_categorical
+        self.feature_name = field_name
+
+    def config(self) -> Dict[str, Any]:
+        return {"field": self.field_name, "as_categorical": self.as_categorical}
+
+    @staticmethod
+    def _try_float(value: Any) -> Optional[float]:
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            return None
+
+    def run(self, inputs: Sequence[Any], context: RunContext) -> DataCollection:
+        (collection,) = inputs
+        units: List[SemanticUnit] = []
+        for raw, split, _carrier in self._iter_inputs(collection):
+            value = raw.get(self.field_name) if isinstance(raw, Record) else raw
+            numeric = self._try_float(value)
+            categorical = self.as_categorical if self.as_categorical is not None else numeric is None
+            if categorical:
+                fv = FeatureVector.one_hot(self.field_name, value)
+            else:
+                fv = FeatureVector.scalar(self.field_name, 0.0 if numeric is None else numeric)
+            units.append(SemanticUnit(input=value, source=self.field_name, output=fv, split=split))
+        return DataCollection(self.field_name, units, kind=ElementKind.SEMANTIC_UNIT)
+
+
+class Bucketizer(Extractor):
+    """Discretize a numeric feature into equal-frequency buckets.
+
+    The bucket boundaries are *learned* from the full data distribution
+    (requiring a complete pass), which is the paper's canonical example of a
+    DPR function that must be fit before it can be applied.
+    """
+
+    def __init__(self, source_feature: str, bins: int = 10):
+        if bins < 1:
+            raise WorkflowSpecError("Bucketizer requires at least one bin")
+        self.source_feature = source_feature
+        self.bins = bins
+        self.feature_name = f"{source_feature}_bucket"
+
+    def config(self) -> Dict[str, Any]:
+        return {"source_feature": self.source_feature, "bins": self.bins}
+
+    def run(self, inputs: Sequence[Any], context: RunContext) -> DataCollection:
+        (collection,) = inputs
+        values: List[float] = []
+        carriers: List[Tuple[float, Split]] = []
+        for raw, split, _carrier in self._iter_inputs(collection):
+            if isinstance(raw, FeatureVector):
+                value = raw.get(self.source_feature)
+            elif isinstance(raw, Record):
+                value = float(raw.get(self.source_feature, 0.0) or 0.0)
+            else:
+                value = float(raw or 0.0)
+            values.append(float(value))
+            carriers.append((float(value), split))
+        boundaries = self._fit_boundaries(np.asarray(values, dtype=float))
+        units = [
+            SemanticUnit(
+                input=value,
+                source=self.feature_name,
+                output=FeatureVector.one_hot(self.feature_name, int(np.searchsorted(boundaries, value))),
+                split=split,
+            )
+            for value, split in carriers
+        ]
+        return DataCollection(self.feature_name, units, kind=ElementKind.SEMANTIC_UNIT)
+
+    def _fit_boundaries(self, values: np.ndarray) -> np.ndarray:
+        if values.size == 0:
+            return np.zeros(0)
+        quantiles = np.linspace(0.0, 1.0, self.bins + 1)[1:-1]
+        return np.unique(np.quantile(values, quantiles))
+
+    def estimated_cost(self, input_sizes: Sequence[int]) -> float:
+        # Requires a full scan plus a sort for quantiles.
+        n = sum(input_sizes) + 1
+        return 2e-6 * n
+
+
+class InteractionFeature(Extractor):
+    """Concatenate (cross) two or more extractor outputs into interaction features.
+
+    For categorical features this produces the cartesian indicator
+    ``a=x&b=y``; for numeric features it produces products.
+    """
+
+    def __init__(self, feature_names: Sequence[str]):
+        if len(feature_names) < 2:
+            raise WorkflowSpecError("InteractionFeature requires at least two inputs")
+        self.feature_names = list(feature_names)
+        self.feature_name = "x".join(self.feature_names)
+
+    def config(self) -> Dict[str, Any]:
+        return {"feature_names": self.feature_names}
+
+    def run(self, inputs: Sequence[Any], context: RunContext) -> DataCollection:
+        collections = [c for c in inputs if isinstance(c, DataCollection)]
+        if len(collections) < 2:
+            raise OperatorError(self.feature_name, "InteractionFeature needs >= 2 input DCs")
+        length = min(len(c) for c in collections)
+        units: List[SemanticUnit] = []
+        for i in range(length):
+            parts: List[str] = []
+            product = 1.0
+            numeric = True
+            split = Split.ALL
+            for collection in collections:
+                su = collection[i]
+                split = su.split
+                fv = su.output if isinstance(su, SemanticUnit) else su
+                if not isinstance(fv, FeatureVector):
+                    continue
+                for name, value in sorted(fv.items()):
+                    parts.append(f"{name}" if value == 1.0 and "=" in name else f"{name}:{value:g}")
+                    product *= value
+                    if "=" in name:
+                        numeric = False
+            if numeric:
+                out = FeatureVector.scalar(self.feature_name, product)
+            else:
+                out = FeatureVector.one_hot(self.feature_name, "&".join(parts))
+            units.append(SemanticUnit(input=parts, source=self.feature_name, output=out, split=split))
+        return DataCollection(self.feature_name, units, kind=ElementKind.SEMANTIC_UNIT)
+
+
+class FunctionExtractor(Extractor):
+    """Wrap an arbitrary UDF ``element -> FeatureVector`` as an extractor."""
+
+    def __init__(self, name: str, fn: Callable[[Any], FeatureVector], cost_per_element: float = 0.0):
+        self.feature_name = name
+        self.fn = fn
+        self.cost_per_element = cost_per_element
+
+    def config(self) -> Dict[str, Any]:
+        return {"name": self.feature_name, "fn": self.fn}
+
+    def estimated_cost(self, input_sizes: Sequence[int]) -> float:
+        if self.cost_per_element:
+            return self.cost_per_element * (sum(input_sizes) + 1)
+        return super().estimated_cost(input_sizes)
+
+    def run(self, inputs: Sequence[Any], context: RunContext) -> DataCollection:
+        (collection,) = inputs
+        units: List[SemanticUnit] = []
+        for raw, split, carrier in self._iter_inputs(collection):
+            source_value = carrier if isinstance(carrier, Record) else raw
+            fv = self.fn(source_value)
+            if not isinstance(fv, FeatureVector):
+                fv = FeatureVector.scalar(self.feature_name, float(fv))
+            units.append(SemanticUnit(input=source_value, source=self.feature_name, output=fv, split=split))
+        return DataCollection(self.feature_name, units, kind=ElementKind.SEMANTIC_UNIT)
+
+
+# ---------------------------------------------------------------------------
+# Synthesizers (join / example assembly)
+# ---------------------------------------------------------------------------
+class Synthesizer(Operator):
+    """Base class for join / example-assembly operators."""
+
+    component = Component.DPR
+
+
+class ExampleSynthesizer(Synthesizer):
+    """Assemble examples from a base DC and the outputs of attached extractors.
+
+    This is the pass-through synthesizer implicitly declared by
+    ``income results_from rows with_labels target`` in HML.  The first input
+    is the base collection (used for element count and split tags), followed
+    by one DC per attached extractor; the extractor named ``label_source``
+    provides labels instead of features.  Feature provenance (feature name ->
+    extractor) is recorded on every example to support data-driven pruning.
+    """
+
+    def __init__(self, label_source: Optional[str] = None, dense: bool = False):
+        self.label_source = label_source
+        self.dense = dense
+
+    def config(self) -> Dict[str, Any]:
+        return {"label_source": self.label_source, "dense": self.dense}
+
+    @staticmethod
+    def _label_from(fv: FeatureVector) -> float:
+        # A label SU is either a scalar feature or a one-hot indicator; for
+        # indicators we map the category deterministically to {0, 1, 2, ...}.
+        if len(fv) == 1:
+            ((name, value),) = list(fv.items())
+            if "=" in name:
+                category = name.split("=", 1)[1]
+                try:
+                    return float(category)
+                except ValueError:
+                    return float(abs(hash(category)) % 2)
+            return float(value)
+        return float(fv.norm() > 0)
+
+    def run(self, inputs: Sequence[Any], context: RunContext) -> DataCollection:
+        if not inputs:
+            raise OperatorError("synthesizer", "ExampleSynthesizer requires at least a base DC")
+        base, *feature_collections = inputs
+        if not isinstance(base, DataCollection):
+            raise OperatorError("synthesizer", "first input must be the base DataCollection")
+        examples: List[Example] = []
+        n = len(base)
+        for i in range(n):
+            base_element = base[i]
+            split = getattr(base_element, "split", Split.ALL)
+            features = FeatureVector()
+            provenance: Dict[str, str] = {}
+            label: Optional[float] = None
+            for collection in feature_collections:
+                if not isinstance(collection, DataCollection) or i >= len(collection):
+                    continue
+                su = collection[i]
+                fv = su.output if isinstance(su, SemanticUnit) else su
+                source = su.source if isinstance(su, SemanticUnit) else collection.name
+                if not isinstance(fv, FeatureVector):
+                    continue
+                if self.label_source is not None and source == self.label_source:
+                    label = self._label_from(fv)
+                    continue
+                features = features.concat(fv)
+                for name in fv.names:
+                    provenance[name] = source
+            examples.append(
+                Example(features=features, label=label, split=split, provenance=provenance)
+            )
+        return DataCollection("examples", examples, kind=ElementKind.EXAMPLE)
+
+
+class JoinSynthesizer(Synthesizer):
+    """Join elements of two record collections on a key (the paper's join basis fn).
+
+    Produces one output record per matching pair, merging fields; an optional
+    ``how='left'`` keeps unmatched left records.  Used by the IE and genomics
+    workloads to join articles with knowledge bases.
+    """
+
+    def __init__(self, left_key: str, right_key: str, how: str = "inner",
+                 emit: Optional[Callable[[Record, Record], Iterable[Record]]] = None):
+        if how not in ("inner", "left"):
+            raise WorkflowSpecError(f"unsupported join type: {how}")
+        self.left_key = left_key
+        self.right_key = right_key
+        self.how = how
+        self.emit = emit
+
+    def config(self) -> Dict[str, Any]:
+        return {"left_key": self.left_key, "right_key": self.right_key,
+                "how": self.how, "emit": self.emit}
+
+    def run(self, inputs: Sequence[Any], context: RunContext) -> DataCollection:
+        left, right = inputs
+        index: Dict[Any, List[Record]] = {}
+        for record in right:
+            index.setdefault(record.get(self.right_key), []).append(record)
+        joined: List[Record] = []
+        for record in left:
+            matches = index.get(record.get(self.left_key), [])
+            if not matches and self.how == "left":
+                joined.append(record)
+                continue
+            for match in matches:
+                if self.emit is not None:
+                    joined.extend(self.emit(record, match))
+                else:
+                    merged = dict(match.fields)
+                    merged.update(record.fields)
+                    joined.append(Record(fields=merged, split=record.split))
+        return DataCollection("joined", joined, kind=ElementKind.RECORD)
+
+
+# ---------------------------------------------------------------------------
+# Learners (learning + inference)
+# ---------------------------------------------------------------------------
+@dataclass
+class PredictionsResult:
+    """Output of a :class:`Learner`: predictions plus the fitted model.
+
+    ``predictions`` is a DC of examples annotated with ``prediction`` (and
+    ``score`` where meaningful); ``model`` is the fitted estimator exposing at
+    least ``predict`` and, for linear models, ``feature_weights()`` used by
+    data-driven pruning.
+    """
+
+    predictions: DataCollection
+    model: Any
+    feature_index: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.predictions)
+
+    def __iter__(self):
+        return iter(self.predictions)
+
+    def estimated_size_bytes(self) -> int:
+        size = self.predictions.estimated_size_bytes()
+        weights = getattr(self.model, "weights_", None)
+        if isinstance(weights, np.ndarray):
+            size += int(weights.nbytes)
+        return size
+
+
+class Learner(Operator):
+    """Learning + inference in a single operator (Section 3.2.2).
+
+    ``model_factory`` builds a fresh estimator (any object implementing
+    ``fit(X, y)`` and ``predict(X)``); the learner fits it on the training
+    split of the input example DC and runs inference on all examples,
+    producing a :class:`PredictionsResult`.  For unsupervised estimators the
+    full collection is used for fitting.
+    """
+
+    component = Component.LI
+
+    def __init__(self, model_factory: Callable[..., Any], params: Optional[Dict[str, Any]] = None,
+                 supervised: bool = True, name: str = "learner"):
+        self.model_factory = model_factory
+        self.params = dict(params or {})
+        self.supervised = supervised
+        self.name = name
+
+    def config(self) -> Dict[str, Any]:
+        return {"model_factory": self.model_factory, "params": self.params,
+                "supervised": self.supervised, "name": self.name}
+
+    def estimated_cost(self, input_sizes: Sequence[int]) -> float:
+        # Iterative training is markedly more expensive per element than DPR.
+        return 1e-5 * (sum(input_sizes) + 1)
+
+    def run(self, inputs: Sequence[Any], context: RunContext) -> PredictionsResult:
+        (examples,) = inputs
+        if not isinstance(examples, DataCollection):
+            raise OperatorError(self.name, "Learner input must be a DataCollection of examples")
+        index = examples.feature_index()
+        X_all, y_all, index = examples.to_matrix(index)
+        model = self.model_factory(**self.params)
+        if hasattr(model, "set_seed"):
+            model.set_seed(context.seed)
+        if self.supervised:
+            train_mask = np.array(
+                [getattr(e, "split", Split.ALL) in (Split.TRAIN, Split.ALL) for e in examples],
+                dtype=bool,
+            )
+            labelled = train_mask & ~np.isnan(y_all)
+            model.fit(X_all[labelled], y_all[labelled])
+        else:
+            model.fit(X_all, None)
+        predictions = model.predict(X_all)
+        scores = None
+        if hasattr(model, "predict_proba"):
+            proba = model.predict_proba(X_all)
+            scores = proba[:, -1] if proba.ndim == 2 else proba
+        annotated = [
+            example.with_prediction(
+                float(predictions[i]),
+                None if scores is None else float(scores[i]),
+            )
+            for i, example in enumerate(examples)
+        ]
+        return PredictionsResult(
+            predictions=DataCollection("predictions", annotated, kind=ElementKind.EXAMPLE),
+            model=model,
+            feature_index=index,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Reducers (postprocessing)
+# ---------------------------------------------------------------------------
+class Reducer(Operator):
+    """PPR operator: reduce a DC (and optional scalar) to a scalar result.
+
+    ``fn`` receives the input DC (by default restricted to the test split, as
+    in ``checked results_from checkResults on testData(predictions)``) and an
+    optional scalar from a second input, returning any non-dataset object.
+    """
+
+    component = Component.PPR
+
+    def __init__(self, fn: Callable[..., Any], on_test_only: bool = True, name: str = "reducer",
+                 params: Optional[Dict[str, Any]] = None):
+        self.fn = fn
+        self.on_test_only = on_test_only
+        self.name = name
+        self.params = dict(params or {})
+
+    def config(self) -> Dict[str, Any]:
+        return {"fn": self.fn, "on_test_only": self.on_test_only,
+                "name": self.name, "params": self.params}
+
+    def estimated_cost(self, input_sizes: Sequence[int]) -> float:
+        return 5e-7 * (sum(input_sizes) + 1)
+
+    def run(self, inputs: Sequence[Any], context: RunContext) -> Any:
+        if not inputs:
+            raise OperatorError(self.name, "Reducer requires at least one input")
+        primary, *rest = inputs
+        if isinstance(primary, PredictionsResult):
+            collection = primary.predictions
+        elif isinstance(primary, DataCollection):
+            collection = primary
+        else:
+            collection = DataCollection("scalar_input", [primary])
+        if self.on_test_only:
+            collection = collection.test()
+        scalar = rest[0] if rest else None
+        kwargs = dict(self.params)
+        signature = inspect.signature(self.fn)
+        if "scalar" in signature.parameters:
+            kwargs["scalar"] = scalar
+        return self.fn(collection, **kwargs)

@@ -1,0 +1,152 @@
+"""Change tracking across workflow iterations (Section 4.2 of the paper).
+
+Helix decides which intermediate results can be safely reused by determining
+*equivalence* between nodes of the DAG at iteration ``t`` and ``t+1``
+(Definition 2): a node is equivalent to a previous node if its operator
+computes identical results on the same inputs and all of its parents are
+equivalent.  Because verifying semantic equivalence of arbitrary programs is
+undecidable (Rice's theorem), Helix uses *representational* equivalence: an
+operator is unchanged if its declaration is unchanged and all ancestors are
+unchanged.
+
+This module computes a recursive **node signature** for every node:
+
+    signature(n) = H(operator configuration signature, signatures of parents)
+
+Two nodes with equal signatures are equivalent under representational
+equivalence, regardless of their names, which also handles node renames and
+workflow restructurings.  :class:`ChangeTracker` keeps the signatures seen in
+previous iterations and classifies nodes of the next iteration as *original*
+(must be recomputed, Constraint 1) or reusable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from .dag import WorkflowDAG
+
+__all__ = ["compute_node_signatures", "diff_signatures", "SignatureDiff", "ChangeTracker"]
+
+
+def compute_node_signatures(dag: WorkflowDAG) -> Dict[str, str]:
+    """Compute the recursive signature of every node in topological order.
+
+    The signature of a node depends on its operator configuration and the
+    signatures of its parents (order-insensitive: parents are sorted so that
+    declaring the same dependencies in a different order does not spuriously
+    deprecate results).
+    """
+    signatures: Dict[str, str] = {}
+    for name in dag.topological_order():
+        node = dag.node(name)
+        parent_signatures = sorted(signatures[parent] for parent in node.parents)
+        payload = "|".join([node.operator.config_signature(), *parent_signatures])
+        signatures[name] = hashlib.sha256(payload.encode()).hexdigest()
+    return signatures
+
+
+@dataclass(frozen=True)
+class SignatureDiff:
+    """The result of comparing one iteration's signatures against history.
+
+    Attributes
+    ----------
+    original:
+        Nodes whose signature has never been seen before; by Constraint 1
+        they must be recomputed.
+    reusable:
+        Nodes whose signature matches a previously seen signature; their
+        results *may* be reused if a materialization exists.
+    added / removed:
+        Node names present only in the new / only in the previous iteration
+        (useful for reporting; removed nodes have no effect on execution).
+    """
+
+    original: FrozenSet[str]
+    reusable: FrozenSet[str]
+    added: FrozenSet[str]
+    removed: FrozenSet[str]
+
+    @property
+    def num_changed(self) -> int:
+        return len(self.original)
+
+
+def diff_signatures(
+    current: Mapping[str, str],
+    previous: Mapping[str, str],
+    known_signatures: Optional[Iterable[str]] = None,
+) -> SignatureDiff:
+    """Classify nodes of the current iteration against previous signatures.
+
+    ``known_signatures`` may extend the set of signatures considered "seen"
+    beyond the immediately preceding iteration (e.g. everything ever
+    materialized), mirroring Definition 3 where a materialization from any
+    ``t' <= t`` can be equivalent.
+    """
+    seen: Set[str] = set(previous.values())
+    if known_signatures is not None:
+        seen.update(known_signatures)
+    original = frozenset(name for name, sig in current.items() if sig not in seen)
+    reusable = frozenset(current) - original
+    added = frozenset(current) - frozenset(previous)
+    removed = frozenset(previous) - frozenset(current)
+    return SignatureDiff(original=original, reusable=reusable, added=added, removed=removed)
+
+
+class ChangeTracker:
+    """Tracks node signatures across iterations for one workflow lifecycle.
+
+    Usage::
+
+        tracker = ChangeTracker()
+        signatures = tracker.signatures_for(dag)
+        diff = tracker.classify(dag)        # original vs reusable nodes
+        ...execute...
+        tracker.commit(dag)                 # record this iteration's signatures
+
+    The tracker deliberately keeps *all* signatures ever committed (not just
+    the previous iteration's) because a materialization produced at any past
+    iteration remains valid as long as the node signature still matches.
+    """
+
+    def __init__(self) -> None:
+        self._previous: Dict[str, str] = {}
+        self._all_signatures: Set[str] = set()
+        self._iteration = 0
+
+    @property
+    def iteration(self) -> int:
+        """Number of committed iterations so far."""
+        return self._iteration
+
+    @property
+    def previous_signatures(self) -> Dict[str, str]:
+        return dict(self._previous)
+
+    def signatures_for(self, dag: WorkflowDAG) -> Dict[str, str]:
+        return compute_node_signatures(dag)
+
+    def classify(self, dag: WorkflowDAG) -> SignatureDiff:
+        """Classify the nodes of ``dag`` as original or reusable."""
+        current = compute_node_signatures(dag)
+        return diff_signatures(current, self._previous, self._all_signatures)
+
+    def commit(self, dag: WorkflowDAG, signatures: Optional[Mapping[str, str]] = None) -> Dict[str, str]:
+        """Record the signatures of an executed iteration and return them."""
+        resolved = dict(signatures) if signatures is not None else compute_node_signatures(dag)
+        self._previous = dict(resolved)
+        self._all_signatures.update(resolved.values())
+        self._iteration += 1
+        return resolved
+
+    def has_seen(self, signature: str) -> bool:
+        return signature in self._all_signatures
+
+    def reset(self) -> None:
+        self._previous.clear()
+        self._all_signatures.clear()
+        self._iteration = 0

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the Helix reproduction library.
+
+All library-specific errors derive from :class:`HelixError` so that callers can
+catch a single base class.  More specific subclasses are raised by the DSL
+(:class:`WorkflowSpecError`), the compiler/DAG layer (:class:`DAGError`,
+:class:`CycleError`), the optimizer (:class:`OptimizationError`), the execution
+engine (:class:`ExecutionError`) and the materialization store
+(:class:`StorageError`, :class:`BudgetExceededError`).
+"""
+
+from __future__ import annotations
+
+
+class HelixError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class WorkflowSpecError(HelixError):
+    """Raised when a workflow declaration is malformed.
+
+    Examples: referencing an undeclared name, redeclaring a name with a
+    different operator, declaring an output that does not exist.
+    """
+
+
+class DAGError(HelixError):
+    """Raised when the compiled Workflow DAG is structurally invalid."""
+
+
+class CycleError(DAGError):
+    """Raised when the declared dependencies contain a cycle."""
+
+
+class OptimizationError(HelixError):
+    """Raised when an optimizer is given inconsistent inputs.
+
+    For instance, a node that is both forced to be recomputed (original) and
+    has no parents available, or negative cost estimates.
+    """
+
+
+class ExecutionError(HelixError):
+    """Raised when the execution engine cannot carry out the physical plan."""
+
+
+class OperatorError(ExecutionError):
+    """Raised when a single operator fails while running.
+
+    The original exception is preserved as ``__cause__`` and the failing node
+    name is stored on :attr:`node_name`.
+    """
+
+    def __init__(self, node_name: str, message: str):
+        super().__init__(f"operator '{node_name}' failed: {message}")
+        self.node_name = node_name
+
+
+class StorageError(HelixError):
+    """Raised when the materialization store cannot read or write an artifact."""
+
+
+class ArtifactNotFoundError(StorageError):
+    """Raised when a load is requested for an artifact that was never stored."""
+
+
+class BudgetExceededError(StorageError):
+    """Raised when a write would exceed the configured storage budget."""

@@ -1,0 +1,20 @@
+"""Execution engine, caches, cost models and run statistics."""
+
+from .cache import CacheEntry, EagerCache, LRUCache, OperatorCache
+from .clock import ClusterModel, CostModel, MeasuredCostModel, SimulatedCostModel
+from .engine import ExecutionEngine
+from .tracker import MemoryTracker, RunStats
+
+__all__ = [
+    "CacheEntry",
+    "EagerCache",
+    "LRUCache",
+    "OperatorCache",
+    "ClusterModel",
+    "CostModel",
+    "MeasuredCostModel",
+    "SimulatedCostModel",
+    "ExecutionEngine",
+    "MemoryTracker",
+    "RunStats",
+]

@@ -1,0 +1,124 @@
+"""Operator-output caches used during a single iteration's execution.
+
+Helix actively manages the in-memory cache instead of relying on the
+underlying engine's LRU eviction (Section 5.4, "Cache Pruning"): once a node
+goes out of scope it is evicted immediately (after the streaming
+materialization decision).  :class:`EagerCache` implements that policy;
+:class:`LRUCache` implements the Spark-style baseline with a capacity bound,
+used by the KeystoneML comparator and by the cache ablation benchmark.
+
+Both caches track the statistics needed for Figure 10 (peak and average
+memory) via :meth:`snapshot_bytes`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..exceptions import ExecutionError
+from ..storage.serialization import estimate_size_bytes
+
+__all__ = ["CacheEntry", "OperatorCache", "EagerCache", "LRUCache"]
+
+
+class CacheEntry:
+    """One cached operator output and its estimated in-memory size."""
+
+    __slots__ = ("value", "size_bytes")
+
+    def __init__(self, value: Any, size_bytes: Optional[int] = None):
+        self.value = value
+        self.size_bytes = estimate_size_bytes(value) if size_bytes is None else int(size_bytes)
+
+
+class OperatorCache:
+    """Base cache: a mapping from node name to :class:`CacheEntry`."""
+
+    def __init__(self) -> None:
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+
+    # ------------------------------------------------------------------ basics
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> List[str]:
+        return list(self._entries)
+
+    def put(self, name: str, value: Any, size_bytes: Optional[int] = None) -> CacheEntry:
+        entry = CacheEntry(value, size_bytes)
+        self._entries[name] = entry
+        self._on_put(name)
+        return entry
+
+    def get(self, name: str) -> Any:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise ExecutionError(f"value for node {name!r} is not cached")
+        self._on_get(name)
+        return entry.value
+
+    def evict(self, name: str) -> Optional[CacheEntry]:
+        return self._entries.pop(name, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def snapshot_bytes(self) -> int:
+        """Total estimated bytes currently held in the cache."""
+        return sum(entry.size_bytes for entry in self._entries.values())
+
+    # ------------------------------------------------------------------ hooks
+    def _on_put(self, name: str) -> None:  # pragma: no cover - default no-op
+        return
+
+    def _on_get(self, name: str) -> None:  # pragma: no cover - default no-op
+        return
+
+
+class EagerCache(OperatorCache):
+    """Helix's cache: unlimited capacity, eviction driven by the execution engine.
+
+    The engine evicts entries the moment the DAG analysis says they are out of
+    scope, so the cache itself needs no replacement policy.
+    """
+
+
+class LRUCache(OperatorCache):
+    """Capacity-bounded least-recently-used cache (the Spark-like baseline).
+
+    ``capacity_bytes`` bounds the total estimated size; inserting a new entry
+    evicts least-recently-used entries until the new entry fits.  Evicted
+    values are simply dropped (a baseline system would recompute them),
+    which is exactly the failure mode the paper attributes to KeystoneML's
+    caching of training data.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        super().__init__()
+        if capacity_bytes <= 0:
+            raise ExecutionError("LRU cache capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.evicted_by_pressure: List[str] = []
+
+    def _on_put(self, name: str) -> None:
+        self._entries.move_to_end(name)
+        self._shrink(protect=name)
+
+    def _on_get(self, name: str) -> None:
+        self._entries.move_to_end(name)
+
+    def _shrink(self, protect: str) -> None:
+        while self.snapshot_bytes() > self.capacity_bytes and len(self._entries) > 1:
+            oldest = next(iter(self._entries))
+            if oldest == protect:
+                # Never evict the entry we are protecting; rotate it to the end.
+                self._entries.move_to_end(oldest)
+                oldest = next(iter(self._entries))
+                if oldest == protect:
+                    break
+            self._entries.pop(oldest)
+            self.evicted_by_pressure.append(oldest)

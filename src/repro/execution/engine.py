@@ -1,0 +1,215 @@
+"""The execution engine: carries out the physical plan produced by the optimizer.
+
+The engine walks the optimized DAG in topological order and, for every node
+that is not pruned, either loads its value from the materialization store or
+computes it from its (cached) parent values.  While executing it
+
+* charges per-node times according to the configured :class:`CostModel`,
+* evicts nodes from the in-memory cache as soon as they go out of scope
+  (Section 5.4, cache pruning),
+* at the eviction point asks the :class:`MaterializationPolicy` whether the
+  node should be persisted (the streaming OPT-MAT-PLAN decision), always
+  persisting mandatory outputs,
+* records observed compute/load times and artifact sizes into the
+  :class:`StatsStore` so the next iteration's optimizer has accurate
+  estimates, and
+* tracks memory usage for the Figure 10 experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..core.dag import WorkflowDAG
+from ..core.operators import RunContext
+from ..exceptions import BudgetExceededError, ExecutionError, OperatorError
+from ..optimizer.metrics import StatsStore
+from ..optimizer.oep import ExecutionPlan, NodeState
+from ..optimizer.omp import MaterializationPolicy, NeverMaterialize
+from ..optimizer.pruning import eviction_schedule
+from ..storage.serialization import estimate_size_bytes
+from ..storage.store import MaterializationStore
+from .cache import EagerCache, OperatorCache
+from .clock import CostModel, MeasuredCostModel
+from .tracker import MemoryTracker, RunStats
+
+__all__ = ["ExecutionEngine"]
+
+
+class ExecutionEngine:
+    """Executes physical plans against a store, cache and cost model."""
+
+    def __init__(
+        self,
+        store: MaterializationStore,
+        policy: Optional[MaterializationPolicy] = None,
+        cost_model: Optional[CostModel] = None,
+        stats: Optional[StatsStore] = None,
+        cache: Optional[OperatorCache] = None,
+        context: Optional[RunContext] = None,
+        materialize_outputs: bool = True,
+    ):
+        self.store = store
+        self.policy = policy if policy is not None else NeverMaterialize()
+        self.cost_model = cost_model if cost_model is not None else MeasuredCostModel()
+        self.stats = stats if stats is not None else StatsStore()
+        self.cache = cache if cache is not None else EagerCache()
+        self.context = context if context is not None else RunContext()
+        self.materialize_outputs = materialize_outputs
+
+    # ------------------------------------------------------------------ public
+    def execute(
+        self,
+        dag: WorkflowDAG,
+        plan: ExecutionPlan,
+        signatures: Mapping[str, str],
+        iteration: int = 0,
+    ) -> RunStats:
+        """Run one iteration according to ``plan`` and return its statistics."""
+        self._validate(dag, plan, signatures)
+        self.cache.clear()
+        memory = MemoryTracker()
+        stats = RunStats(iteration=iteration, workflow_name=dag.name)
+        stats.node_states = dict(plan.states)
+        stats.original_nodes = sorted(plan.forced)
+
+        order = [
+            name
+            for name in dag.topological_order()
+            if plan.states[name] is not NodeState.PRUNE
+        ]
+        evictions = eviction_schedule(dag, order)
+
+        for position, name in enumerate(order):
+            node = dag.node(name)
+            state = plan.states[name]
+            if state is NodeState.LOAD:
+                value, charged = self._load_node(name, signatures[name])
+            else:
+                value, charged = self._compute_node(dag, name)
+            size_bytes = estimate_size_bytes(value)
+            self.cache.put(name, value, size_bytes)
+            stats.node_times[name] = charged
+            stats.node_sizes[name] = size_bytes
+            component = node.component.value
+            stats.component_times[component] = stats.component_times.get(component, 0.0) + charged
+            if node.is_output:
+                stats.outputs[name] = value
+            memory.snapshot(self.cache.snapshot_bytes())
+
+            for evicted in evictions.get(position, []):
+                self._retire_node(dag, evicted, signatures[evicted], stats, iteration)
+                memory.snapshot(self.cache.snapshot_bytes())
+
+        self.cache.clear()
+        stats.storage_bytes = self.store.total_bytes()
+        stats.peak_memory_bytes = memory.peak_bytes
+        stats.average_memory_bytes = memory.average_bytes
+        return stats
+
+    # ------------------------------------------------------------------ helpers
+    def _validate(
+        self,
+        dag: WorkflowDAG,
+        plan: ExecutionPlan,
+        signatures: Mapping[str, str],
+    ) -> None:
+        for name in dag.node_names:
+            if name not in plan.states:
+                raise ExecutionError(f"execution plan is missing a state for node {name!r}")
+            if name not in signatures:
+                raise ExecutionError(f"missing signature for node {name!r}")
+        for name, state in plan.states.items():
+            if state is NodeState.COMPUTE:
+                for parent in dag.parents(name):
+                    if plan.states.get(parent) is NodeState.PRUNE:
+                        raise ExecutionError(
+                            f"infeasible plan: {name!r} is computed but parent {parent!r} is pruned"
+                        )
+
+    def _load_node(self, name: str, signature: str) -> tuple:
+        if not self.store.has(signature):
+            raise ExecutionError(
+                f"plan loads node {name!r} but no materialization exists for it"
+            )
+        value, measured = self.store.load(signature)
+        record = self.store.catalog.get(signature)
+        size_bytes = record.size_bytes if record is not None else estimate_size_bytes(value)
+        charged = self.cost_model.io_cost(size_bytes, measured)
+        self.stats.record(signature, load_time=charged, storage_bytes=size_bytes)
+        return value, charged
+
+    def _compute_node(self, dag: WorkflowDAG, name: str) -> tuple:
+        node = dag.node(name)
+        inputs: List[Any] = []
+        input_sizes: List[int] = []
+        for parent in node.parents:
+            if parent in self.cache:
+                value = self.cache.get(parent)
+                inputs.append(value)
+                input_sizes.append(estimate_size_bytes(value))
+        started = time.perf_counter()
+        try:
+            value = node.operator.run(inputs, self.context)
+        except OperatorError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - wrap arbitrary operator failures
+            raise OperatorError(name, str(exc)) from exc
+        measured = time.perf_counter() - started
+        charged = self.cost_model.compute_cost(node.operator, node.component, input_sizes, measured)
+        return value, charged
+
+    def _retire_node(
+        self,
+        dag: WorkflowDAG,
+        name: str,
+        signature: str,
+        stats: RunStats,
+        iteration: int,
+    ) -> None:
+        """Apply the streaming materialization decision and evict from cache."""
+        entry = self.cache.evict(name)
+        if entry is None:
+            return
+        node = dag.node(name)
+        size_bytes = entry.size_bytes
+        load_estimate = self.cost_model.estimate_io_cost(size_bytes)
+        decision = self.policy.decide(
+            name,
+            dag,
+            stats.node_times,
+            load_estimate,
+            size_bytes,
+            self.store.remaining_budget(),
+        )
+        stats.decisions.append(decision)
+        mandatory = node.is_output and self.materialize_outputs
+        should_materialize = decision.materialize or mandatory
+        if not should_materialize or self.store.has(signature):
+            # Record compute-time/size statistics even when not materializing so
+            # that future iterations can still estimate costs.
+            self.stats.record(
+                signature,
+                compute_time=stats.node_times.get(name),
+                storage_bytes=size_bytes,
+            )
+            return
+        try:
+            artifact = self.store.put(name, signature, entry.value, iteration=iteration)
+        except BudgetExceededError:
+            self.stats.record(
+                signature,
+                compute_time=stats.node_times.get(name),
+                storage_bytes=size_bytes,
+            )
+            return
+        write_charged = self.cost_model.io_cost(artifact.record.size_bytes, artifact.write_time)
+        stats.materialization_time += write_charged
+        stats.materialized_nodes.append(name)
+        self.stats.record(
+            signature,
+            compute_time=stats.node_times.get(name),
+            load_time=self.cost_model.estimate_io_cost(artifact.record.size_bytes),
+            storage_bytes=artifact.record.size_bytes,
+        )

@@ -1,0 +1,31 @@
+"""Experiment harness: lifecycle runner, figure drivers, tables and reports."""
+
+from .figures import figure5, figure6, figure7a, figure7b, figure8, figure9, figure10, speedup
+from .report import (
+    format_breakdown_table,
+    format_fraction_table,
+    format_memory_table,
+    format_series_table,
+)
+from .runner import LifecycleResult, run_comparison, run_lifecycle
+from .tables import format_table2, table2_rows
+
+__all__ = [
+    "figure5",
+    "figure6",
+    "figure7a",
+    "figure7b",
+    "figure8",
+    "figure9",
+    "figure10",
+    "speedup",
+    "format_breakdown_table",
+    "format_fraction_table",
+    "format_memory_table",
+    "format_series_table",
+    "LifecycleResult",
+    "run_comparison",
+    "run_lifecycle",
+    "format_table2",
+    "table2_rows",
+]

@@ -1,0 +1,83 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The paper presents its results as plots; the benchmark harness prints the
+underlying series as aligned text tables so they can be inspected (and
+recorded in EXPERIMENTS.md) without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["format_series_table", "format_breakdown_table", "format_fraction_table", "format_memory_table"]
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_series_table(series: Mapping[str, Sequence[float]], title: str = "", unit: str = "s") -> str:
+    """Render one row per named series, one column per iteration."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    names = [name for name in series if not name.startswith("_")]
+    length = max((len(series[name]) for name in names), default=0)
+    header = "iteration".ljust(18) + "".join(f"{i:>12d}" for i in range(length))
+    lines.append(header)
+    for name in names:
+        values = list(series[name])
+        row = name.ljust(18)
+        for i in range(length):
+            row += f"{_format_value(values[i]) if i < len(values) else '-':>12}"
+        lines.append(row + f"  [{unit}]")
+    return "\n".join(lines)
+
+
+def format_breakdown_table(breakdowns: Sequence[Mapping[str, float]], title: str = "") -> str:
+    """Render per-iteration component breakdowns (Figure 6 style)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    components = ["DPR", "L/I", "PPR", "Mat."]
+    lines.append("iteration".ljust(12) + "".join(c.rjust(12) for c in components))
+    for index, breakdown in enumerate(breakdowns):
+        row = str(index).ljust(12)
+        for component in components:
+            row += f"{breakdown.get(component, 0.0):>12.4f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_fraction_table(fractions: Sequence[Mapping[str, float]], title: str = "") -> str:
+    """Render per-iteration state fractions (Figure 8 style)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    states = ["Sp", "Sl", "Sc"]
+    lines.append("iteration".ljust(12) + "".join(s.rjust(10) for s in states))
+    for index, row_values in enumerate(fractions):
+        row = str(index).ljust(12)
+        for state in states:
+            row += f"{row_values.get(state, 0.0):>10.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_memory_table(memory: Sequence[Mapping[str, float]], title: str = "") -> str:
+    """Render per-iteration peak/average memory (Figure 10 style)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("iteration".ljust(12) + "peak (KB)".rjust(16) + "avg (KB)".rjust(16))
+    for index, row_values in enumerate(memory):
+        lines.append(
+            str(index).ljust(12)
+            + f"{row_values.get('peak', 0.0) / 1024:>16.1f}"
+            + f"{row_values.get('average', 0.0) / 1024:>16.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Table 2: workflow characteristics and per-system support matrix."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..workloads.base import WORKLOADS, WorkloadCharacteristics, get_workload
+
+__all__ = ["table2_rows", "format_table2"]
+
+_ROW_ORDER = ("census", "genomics", "nlp", "mnist")
+
+_ATTRIBUTES = (
+    ("Num. Data Source", "num_data_sources"),
+    ("Input to Example Mapping", "input_to_example"),
+    ("Feature Granularity", "feature_granularity"),
+    ("Learning Task Type", "learning_task"),
+    ("Application Domain", "application_domain"),
+    ("Supported by HELIX", "supported_by_helix"),
+    ("Supported by KeystoneML", "supported_by_keystoneml"),
+    ("Supported by DeepDive", "supported_by_deepdive"),
+)
+
+
+def table2_rows(workload_names: Sequence[str] = _ROW_ORDER) -> Dict[str, Dict[str, object]]:
+    """The Table 2 contents keyed by attribute name, one column per workload."""
+    characteristics: List[WorkloadCharacteristics] = [
+        get_workload(name).characteristics() for name in workload_names if name in WORKLOADS
+    ]
+    rows: Dict[str, Dict[str, object]] = {}
+    for label, attribute in _ATTRIBUTES:
+        rows[label] = {c.name: getattr(c, attribute) for c in characteristics}
+    return rows
+
+
+def format_table2(workload_names: Sequence[str] = _ROW_ORDER) -> str:
+    """Render Table 2 as a fixed-width text table."""
+    rows = table2_rows(workload_names)
+    columns = list(next(iter(rows.values())).keys()) if rows else []
+    width_label = max((len(label) for label in rows), default=10) + 2
+    width_column = 28
+    lines = ["".ljust(width_label) + "".join(c.ljust(width_column) for c in columns)]
+    for label, values in rows.items():
+        rendered = []
+        for column in columns:
+            value = values[column]
+            if isinstance(value, bool):
+                value = "yes" if value else "-"
+            rendered.append(str(value).ljust(width_column))
+        lines.append(label.ljust(width_label) + "".join(rendered))
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Model selection: train/test splitting, cross-validation and grid search.
+
+These implement the PPR "reduce over a hyperparameter set" pattern described
+in Section 3.1 (model selection is a reduce that internally performs learning
+and inference) and are exposed so that workloads and examples can perform the
+same hyperparameter-sweep iterations the paper's survey reports as common.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["train_test_split", "KFold", "cross_val_score", "GridSearch", "GridSearchResult"]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: Optional[np.ndarray] = None,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
+    """Shuffle and split ``(X, y)`` into train/test portions.
+
+    Returns ``(X_train, X_test, y_train, y_test)``; the label outputs are
+    ``None`` when ``y`` is ``None``.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be strictly between 0 and 1")
+    X = np.asarray(X)
+    n = X.shape[0]
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction))) if n else 0
+    test_index = order[:n_test]
+    train_index = order[n_test:]
+    if y is None:
+        return X[train_index], X[test_index], None, None
+    y = np.asarray(y)
+    return X[train_index], X[test_index], y[train_index], y[test_index]
+
+
+class KFold:
+    """Deterministic k-fold splitter."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, seed: int = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterable[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        if n_samples < self.n_splits:
+            raise ValueError("cannot split fewer samples than folds")
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            indices = np.random.default_rng(self.seed).permutation(n_samples)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test_index = folds[i]
+            train_index = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train_index, test_index
+
+
+def cross_val_score(
+    model_factory: Callable[..., Any],
+    X: np.ndarray,
+    y: np.ndarray,
+    params: Optional[Mapping[str, Any]] = None,
+    n_splits: int = 5,
+    seed: int = 0,
+) -> List[float]:
+    """Fit/score a model on each fold, returning the per-fold scores.
+
+    The model must implement ``fit`` and ``score``.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    scores: List[float] = []
+    for train_index, test_index in KFold(n_splits=n_splits, seed=seed).split(X.shape[0]):
+        model = model_factory(**dict(params or {}))
+        model.fit(X[train_index], y[train_index])
+        scores.append(float(model.score(X[test_index], y[test_index])))
+    return scores
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of a grid search: best parameters, best score and the full table."""
+
+    best_params: Dict[str, Any]
+    best_score: float
+    results: List[Tuple[Dict[str, Any], float]] = field(default_factory=list)
+
+
+class GridSearch:
+    """Exhaustive hyperparameter search with cross-validation.
+
+    Mirrors Scikit-learn's model-selection "reduce": internally performs
+    learning, inference and scoring for every parameter combination and
+    returns the best.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[..., Any],
+        param_grid: Mapping[str, Sequence[Any]],
+        n_splits: int = 3,
+        seed: int = 0,
+    ):
+        if not param_grid:
+            raise ValueError("param_grid must not be empty")
+        self.model_factory = model_factory
+        self.param_grid = {key: list(values) for key, values in param_grid.items()}
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def _combinations(self) -> Iterable[Dict[str, Any]]:
+        keys = sorted(self.param_grid)
+        for values in itertools.product(*(self.param_grid[key] for key in keys)):
+            yield dict(zip(keys, values))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> GridSearchResult:
+        results: List[Tuple[Dict[str, Any], float]] = []
+        best_score = -np.inf
+        best_params: Dict[str, Any] = {}
+        for params in self._combinations():
+            scores = cross_val_score(
+                self.model_factory, X, y, params=params, n_splits=self.n_splits, seed=self.seed
+            )
+            mean_score = float(np.mean(scores))
+            results.append((params, mean_score))
+            if mean_score > best_score:
+                best_score = mean_score
+                best_params = params
+        return GridSearchResult(best_params=best_params, best_score=best_score, results=results)

@@ -1,0 +1,284 @@
+"""OPT-EXEC-PLAN: the optimal execution (reuse) plan.
+
+Problem 1 of the paper: given the Workflow DAG, per-node compute times
+``c_i``, load times ``l_i`` (infinite when no equivalent materialization
+exists) and the set of *original* nodes that must be recomputed (Constraint
+1), assign each node one of three states
+
+* ``Sc`` (compute from inputs),
+* ``Sl`` (load the materialized result from disk),
+* ``Sp`` (prune — neither computed nor loaded),
+
+minimizing total run time subject to the execution-state constraint
+(Constraint 2: a computed node's parents may not be pruned).
+
+The problem is solved exactly in polynomial time by the reduction of
+Algorithm 1 to the Project Selection Problem:
+
+* for every node ``n_i`` create project ``a_i`` with profit ``-l_i`` and
+  project ``b_i`` with profit ``l_i - c_i``;
+* ``a_i`` is a prerequisite of ``b_i`` (computing implies not pruning);
+* for every DAG edge ``(n_i, n_j)``, ``a_i`` is a prerequisite of ``b_j``
+  (computing a child requires every parent to be loaded or computed).
+
+Selecting ``{a_i, b_i}`` maps to ``Sc``, selecting only ``a_i`` maps to
+``Sl``, and selecting neither maps to ``Sp``.
+
+Constraint 1 (original nodes must be recomputed) is enforced the same way the
+paper's ILP formulation does: original nodes get an effectively infinite load
+cost and a large negative compute cost, which makes ``Sc`` the unique optimal
+choice for them.  A brute-force reference solver is provided for testing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from ..core.dag import WorkflowDAG
+from ..exceptions import OptimizationError
+from .psp import ProjectSelectionProblem
+
+__all__ = ["NodeState", "ExecutionPlan", "solve_oep", "brute_force_oep", "plan_run_time"]
+
+
+class NodeState(str, Enum):
+    """Execution state of a node (Section 5.1)."""
+
+    COMPUTE = "Sc"
+    LOAD = "Sl"
+    PRUNE = "Sp"
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A state assignment for every node plus its estimated run time."""
+
+    states: Mapping[str, NodeState]
+    estimated_time: float
+    forced: FrozenSet[str] = frozenset()
+
+    def state(self, name: str) -> NodeState:
+        return self.states[name]
+
+    def nodes_in(self, state: NodeState) -> Tuple[str, ...]:
+        return tuple(sorted(n for n, s in self.states.items() if s is state))
+
+    def state_fractions(self) -> Dict[str, float]:
+        """Fraction of nodes in each state (Figure 8 of the paper)."""
+        total = max(len(self.states), 1)
+        return {
+            state.value: sum(1 for s in self.states.values() if s is state) / total
+            for state in NodeState
+        }
+
+
+def plan_run_time(
+    states: Mapping[str, NodeState],
+    compute_time: Mapping[str, float],
+    load_time: Mapping[str, float],
+) -> float:
+    """Total run time of a plan under the true cost estimates (Equation 1)."""
+    total = 0.0
+    for name, state in states.items():
+        if state is NodeState.COMPUTE:
+            total += compute_time[name]
+        elif state is NodeState.LOAD:
+            total += load_time[name]
+    return total
+
+
+def _validate_inputs(
+    dag: WorkflowDAG,
+    compute_time: Mapping[str, float],
+    load_time: Mapping[str, float],
+    forced_compute: Iterable[str],
+    required: Iterable[str] = (),
+) -> Tuple[Set[str], Set[str]]:
+    forced = set(forced_compute)
+    needed = set(required)
+    for name in dag.node_names:
+        if name not in compute_time:
+            raise OptimizationError(f"missing compute time for node {name!r}")
+        if name not in load_time:
+            raise OptimizationError(f"missing load time for node {name!r}")
+        if compute_time[name] < 0:
+            raise OptimizationError(f"negative compute time for node {name!r}")
+        if load_time[name] < 0:
+            raise OptimizationError(f"negative load time for node {name!r}")
+    unknown = (forced | needed) - set(dag.node_names)
+    if unknown:
+        raise OptimizationError(f"forced/required nodes not in DAG: {sorted(unknown)}")
+    return forced, needed
+
+
+def solve_oep(
+    dag: WorkflowDAG,
+    compute_time: Mapping[str, float],
+    load_time: Mapping[str, float],
+    forced_compute: Iterable[str] = (),
+    required: Iterable[str] = (),
+) -> ExecutionPlan:
+    """Solve OPT-EXEC-PLAN exactly via the PSP/min-cut reduction (Algorithm 1).
+
+    Parameters
+    ----------
+    dag:
+        The (already sliced) Workflow DAG.
+    compute_time / load_time:
+        Estimated ``c_i`` and ``l_i`` per node name; ``l_i`` may be infinite
+        when no equivalent materialization exists.
+    forced_compute:
+        Names of original nodes that must be recomputed (Constraint 1).
+    required:
+        Names of nodes that must be *produced* (loaded or computed, not
+        pruned), regardless of cost.  Helix itself only uses Constraint 1 —
+        unchanged outputs stay on disk — but the exact OPT-MAT-PLAN solver
+        and what-if analyses need to model "the next iteration must produce
+        its outputs".
+    """
+    forced, needed = _validate_inputs(dag, compute_time, load_time, forced_compute, required)
+
+    finite_costs = [v for v in compute_time.values() if v != float("inf")]
+    finite_costs += [v for v in load_time.values() if v != float("inf")]
+    big = sum(finite_costs) + 1.0
+
+    adjusted_compute: Dict[str, float] = {}
+    adjusted_load: Dict[str, float] = {}
+    for name in dag.node_names:
+        c = compute_time[name]
+        l = load_time[name]
+        if name in forced:
+            # Constraint 1: make Sc the unique optimal choice for this node by
+            # making loading prohibitively expensive and computing "profitable"
+            # enough to outweigh any cascading parent costs.
+            c = -big
+            l = big * 2.0
+        else:
+            if l == float("inf"):
+                l = big * 2.0
+            if c == float("inf"):
+                c = big * 2.0
+        adjusted_compute[name] = c
+        adjusted_load[name] = l
+
+    psp = ProjectSelectionProblem()
+    for name in dag.node_names:
+        # A required node gets a selection bonus on its "a" project large
+        # enough that every optimal solution selects it (i.e. does not prune
+        # it); the load-vs-compute trade-off via the "b" project is unchanged.
+        bonus = big * 4.0 if name in needed and name not in forced else 0.0
+        psp.add_project(("a", name), bonus - adjusted_load[name])
+        psp.add_project(("b", name), adjusted_load[name] - adjusted_compute[name],
+                        prerequisites=[("a", name)])
+    for parent, child in dag.edges:
+        psp.add_prerequisite(("b", child), ("a", parent))
+
+    solution = psp.solve()
+
+    states: Dict[str, NodeState] = {}
+    for name in dag.node_names:
+        picked_a = ("a", name) in solution.selected
+        picked_b = ("b", name) in solution.selected
+        if picked_a and picked_b:
+            states[name] = NodeState.COMPUTE
+        elif picked_a:
+            states[name] = NodeState.LOAD
+        else:
+            states[name] = NodeState.PRUNE
+
+    _repair_plan(dag, states, compute_time, load_time, forced, needed)
+    estimated = plan_run_time(states, compute_time, load_time)
+    return ExecutionPlan(states=states, estimated_time=estimated, forced=frozenset(forced))
+
+
+def _repair_plan(
+    dag: WorkflowDAG,
+    states: Dict[str, NodeState],
+    compute_time: Mapping[str, float],
+    load_time: Mapping[str, float],
+    forced: Set[str],
+    required: Set[str] = frozenset(),
+) -> None:
+    """Defensively enforce feasibility on the mapped PSP solution.
+
+    With exact arithmetic the mapped solution always satisfies Constraints 1
+    and 2 (see Theorem 2); tiny floating-point slack in the max-flow solver
+    can in principle flip a zero-profit project, so we repair rather than
+    fail: forced nodes are set to compute, required nodes are promoted out of
+    the pruned state, and pruned parents of computed nodes are promoted to
+    the cheaper of load/compute (in reverse topological order so promotions
+    cascade correctly).
+    """
+    for name in forced:
+        states[name] = NodeState.COMPUTE
+    for name in required:
+        if states[name] is NodeState.PRUNE:
+            if load_time[name] <= compute_time[name]:
+                states[name] = NodeState.LOAD
+            else:
+                states[name] = NodeState.COMPUTE
+    for name in reversed(dag.topological_order()):
+        if states[name] is not NodeState.COMPUTE:
+            continue
+        for parent in dag.parents(name):
+            if states[parent] is NodeState.PRUNE:
+                if load_time[parent] <= compute_time[parent]:
+                    states[parent] = NodeState.LOAD
+                else:
+                    states[parent] = NodeState.COMPUTE
+
+
+def brute_force_oep(
+    dag: WorkflowDAG,
+    compute_time: Mapping[str, float],
+    load_time: Mapping[str, float],
+    forced_compute: Iterable[str] = (),
+    required: Iterable[str] = (),
+    max_nodes: int = 12,
+) -> ExecutionPlan:
+    """Exhaustive reference solver for testing (exponential in the node count)."""
+    forced, needed = _validate_inputs(dag, compute_time, load_time, forced_compute, required)
+    names = list(dag.node_names)
+    if len(names) > max_nodes:
+        raise OptimizationError(
+            f"brute-force OEP limited to {max_nodes} nodes, got {len(names)}"
+        )
+    best_states: Optional[Dict[str, NodeState]] = None
+    best_time = float("inf")
+    for assignment in itertools.product(list(NodeState), repeat=len(names)):
+        states = dict(zip(names, assignment))
+        if not _is_feasible(dag, states, load_time, forced, needed):
+            continue
+        total = plan_run_time(states, compute_time, load_time)
+        if total < best_time - 1e-15:
+            best_time = total
+            best_states = states
+    if best_states is None:
+        raise OptimizationError("no feasible execution plan exists")
+    return ExecutionPlan(states=best_states, estimated_time=best_time, forced=frozenset(forced))
+
+
+def _is_feasible(
+    dag: WorkflowDAG,
+    states: Mapping[str, NodeState],
+    load_time: Mapping[str, float],
+    forced: Set[str],
+    required: Set[str] = frozenset(),
+) -> bool:
+    for name in forced:
+        if states[name] is not NodeState.COMPUTE:
+            return False
+    for name in required:
+        if states[name] is NodeState.PRUNE:
+            return False
+    for name, state in states.items():
+        if state is NodeState.LOAD and load_time[name] == float("inf"):
+            return False
+        if state is NodeState.COMPUTE:
+            for parent in dag.parents(name):
+                if states[parent] is NodeState.PRUNE:
+                    return False
+    return True

@@ -1,0 +1,18 @@
+"""Materialization store: catalog, serialization and disk/in-memory backends."""
+
+from .catalog import ArtifactRecord, Catalog
+from .serialization import deserialize, estimate_size_bytes, serialize, serialized_size
+from .store import DiskStore, InMemoryStore, MaterializationStore, StoredArtifact
+
+__all__ = [
+    "ArtifactRecord",
+    "Catalog",
+    "deserialize",
+    "estimate_size_bytes",
+    "serialize",
+    "serialized_size",
+    "DiskStore",
+    "InMemoryStore",
+    "MaterializationStore",
+    "StoredArtifact",
+]

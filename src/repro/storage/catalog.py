@@ -1,0 +1,109 @@
+"""Catalog of materialized artifacts.
+
+The catalog is the metadata layer of the materialization store: it maps each
+artifact's *signature* (the recursive node signature from
+:mod:`repro.core.signatures`) to an :class:`ArtifactRecord` describing where
+the bytes live, how large they are, which node produced them and at which
+iteration.  Keying by signature rather than node name is what makes reuse
+safe: a changed operator produces a different signature and therefore can
+never pick up a stale artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["ArtifactRecord", "Catalog"]
+
+
+@dataclass(frozen=True)
+class ArtifactRecord:
+    """Metadata for one materialized artifact."""
+
+    signature: str
+    node_name: str
+    size_bytes: int
+    iteration: int
+    location: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, object]) -> "ArtifactRecord":
+        return ArtifactRecord(
+            signature=str(payload["signature"]),
+            node_name=str(payload["node_name"]),
+            size_bytes=int(payload["size_bytes"]),
+            iteration=int(payload["iteration"]),
+            location=str(payload.get("location", "")),
+        )
+
+
+class Catalog:
+    """In-memory artifact catalog with optional JSON persistence."""
+
+    def __init__(self, path: Optional[Path] = None):
+        self._records: Dict[str, ArtifactRecord] = {}
+        self._path = Path(path) if path is not None else None
+        if self._path is not None and self._path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------ basics
+    def __contains__(self, signature: str) -> bool:
+        return signature in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, signature: str) -> Optional[ArtifactRecord]:
+        return self._records.get(signature)
+
+    def add(self, record: ArtifactRecord) -> None:
+        self._records[record.signature] = record
+
+    def remove(self, signature: str) -> Optional[ArtifactRecord]:
+        return self._records.pop(signature, None)
+
+    def records(self) -> List[ArtifactRecord]:
+        return sorted(self._records.values(), key=lambda r: (r.node_name, r.signature))
+
+    # ------------------------------------------------------------------ queries
+    def total_bytes(self) -> int:
+        return sum(record.size_bytes for record in self._records.values())
+
+    def by_node(self, node_name: str) -> List[ArtifactRecord]:
+        return [r for r in self._records.values() if r.node_name == node_name]
+
+    def signatures_for_node(self, node_name: str) -> List[str]:
+        return [r.signature for r in self.by_node(node_name)]
+
+    def stale_signatures(self, node_name: str, current_signature: str) -> List[str]:
+        """Signatures stored for ``node_name`` that differ from the current one.
+
+        Helix purges previous materializations of *original* (changed)
+        operators before execution (Section 6.6: storage use is therefore not
+        monotonic); the store uses this query to find what to purge.
+        """
+        return [
+            record.signature
+            for record in self.by_node(node_name)
+            if record.signature != current_signature
+        ]
+
+    # ------------------------------------------------------------------ persistence
+    def save(self) -> None:
+        if self._path is None:
+            return
+        payload = [record.to_dict() for record in self.records()]
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    def _load(self) -> None:
+        payload = json.loads(self._path.read_text())
+        for entry in payload:
+            record = ArtifactRecord.from_dict(entry)
+            self._records[record.signature] = record

@@ -1,0 +1,64 @@
+"""Serialization helpers for the materialization store.
+
+Artifacts are serialized with :mod:`pickle` (protocol 4) — operator outputs
+are plain Python/NumPy objects, and the store is private to the workflow
+lifecycle, so pickle's trust model is acceptable here.  The module also
+provides :func:`estimate_size_bytes`, a cheap size estimate used when a value
+is cached in memory but has not (yet) been serialized.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import Any, Tuple
+
+import numpy as np
+
+__all__ = ["serialize", "deserialize", "serialized_size", "estimate_size_bytes"]
+
+_PROTOCOL = 4
+
+
+def serialize(value: Any) -> bytes:
+    """Serialize a value to bytes."""
+    return pickle.dumps(value, protocol=_PROTOCOL)
+
+
+def deserialize(payload: bytes) -> Any:
+    """Inverse of :func:`serialize`."""
+    return pickle.loads(payload)
+
+
+def serialized_size(value: Any) -> int:
+    """Exact serialized size of a value in bytes (requires a full pickle pass)."""
+    return len(serialize(value))
+
+
+def estimate_size_bytes(value: Any) -> int:
+    """Cheap size estimate without a full serialization pass.
+
+    Objects exposing ``estimated_size_bytes()`` (data collections, prediction
+    results) are asked directly; NumPy arrays report their buffer size;
+    everything else falls back to an exact pickle size, which is fine because
+    such values (scalars, small models) are small.
+    """
+    estimator = getattr(value, "estimated_size_bytes", None)
+    if callable(estimator):
+        return int(estimator())
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes) + 128
+    if isinstance(value, (int, float, bool)) or value is None:
+        return 32
+    if isinstance(value, str):
+        return 49 + len(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 64 + sum(estimate_size_bytes(v) for v in value)
+    if isinstance(value, dict):
+        return 64 + sum(
+            estimate_size_bytes(k) + estimate_size_bytes(v) for k, v in value.items()
+        )
+    try:
+        return serialized_size(value)
+    except Exception:  # pragma: no cover - unpicklable exotic values
+        return 256

@@ -1,0 +1,196 @@
+"""Materialization stores: where intermediate results are persisted.
+
+Two implementations share the :class:`MaterializationStore` interface:
+
+* :class:`DiskStore` pickles artifacts into a directory and measures real
+  read/write times — used by the benchmark harness so that load costs are
+  genuine I/O costs.
+* :class:`InMemoryStore` keeps serialized bytes in memory and *models* the
+  read/write times from a configurable disk bandwidth — used by unit tests
+  and the simulated-cost experiments where determinism matters.
+
+Both enforce an optional storage budget: a ``put`` that would exceed the
+budget raises :class:`~repro.exceptions.BudgetExceededError` (callers check
+``remaining_budget`` first; the exception is the safety net).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..exceptions import ArtifactNotFoundError, BudgetExceededError, StorageError
+from .catalog import ArtifactRecord, Catalog
+from .serialization import deserialize, serialize
+
+__all__ = ["MaterializationStore", "DiskStore", "InMemoryStore", "StoredArtifact"]
+
+
+class StoredArtifact:
+    """Result of a ``put``: the catalog record plus the observed write time."""
+
+    __slots__ = ("record", "write_time")
+
+    def __init__(self, record: ArtifactRecord, write_time: float):
+        self.record = record
+        self.write_time = write_time
+
+
+class MaterializationStore(ABC):
+    """Common interface and budget/catalog bookkeeping for artifact stores."""
+
+    def __init__(self, budget_bytes: Optional[int] = None, catalog: Optional[Catalog] = None):
+        if budget_bytes is not None and budget_bytes < 0:
+            raise StorageError("storage budget must be non-negative")
+        self.budget_bytes = budget_bytes
+        self.catalog = catalog if catalog is not None else Catalog()
+
+    # ------------------------------------------------------------------ interface
+    @abstractmethod
+    def _write(self, signature: str, value: Any) -> Tuple[int, float, str]:
+        """Persist ``value``; return ``(size_bytes, write_seconds, location)``."""
+
+    @abstractmethod
+    def _read(self, record: ArtifactRecord) -> Tuple[Any, float]:
+        """Read an artifact; return ``(value, read_seconds)``."""
+
+    @abstractmethod
+    def _delete(self, record: ArtifactRecord) -> None:
+        """Remove persisted bytes for an artifact."""
+
+    # ------------------------------------------------------------------ public API
+    def has(self, signature: str) -> bool:
+        return signature in self.catalog
+
+    def total_bytes(self) -> int:
+        return self.catalog.total_bytes()
+
+    def remaining_budget(self) -> Optional[int]:
+        if self.budget_bytes is None:
+            return None
+        return max(self.budget_bytes - self.total_bytes(), 0)
+
+    def put(self, node_name: str, signature: str, value: Any, iteration: int = 0) -> StoredArtifact:
+        """Materialize a value under its node signature.
+
+        Re-putting an existing signature is a no-op (the artifact is already
+        on disk and, by construction, identical).
+        """
+        existing = self.catalog.get(signature)
+        if existing is not None:
+            return StoredArtifact(existing, 0.0)
+        size_bytes, write_time, location = self._write(signature, value)
+        if self.budget_bytes is not None and self.total_bytes() + size_bytes > self.budget_bytes:
+            self._delete(ArtifactRecord(signature, node_name, size_bytes, iteration, location))
+            raise BudgetExceededError(
+                f"materializing {node_name!r} ({size_bytes} bytes) would exceed the "
+                f"storage budget of {self.budget_bytes} bytes"
+            )
+        record = ArtifactRecord(
+            signature=signature,
+            node_name=node_name,
+            size_bytes=size_bytes,
+            iteration=iteration,
+            location=location,
+        )
+        self.catalog.add(record)
+        return StoredArtifact(record, write_time)
+
+    def load(self, signature: str) -> Tuple[Any, float]:
+        """Load a previously materialized value; returns ``(value, seconds)``."""
+        record = self.catalog.get(signature)
+        if record is None:
+            raise ArtifactNotFoundError(f"no artifact for signature {signature[:12]}...")
+        return self._read(record)
+
+    def delete(self, signature: str) -> None:
+        record = self.catalog.remove(signature)
+        if record is not None:
+            self._delete(record)
+
+    def purge_node(self, node_name: str, keep_signature: Optional[str] = None) -> List[str]:
+        """Remove stale artifacts for a node whose operator changed.
+
+        Keeps the artifact matching ``keep_signature`` (if any) and deletes
+        the rest, returning the removed signatures.  This is the purge the
+        paper describes before executing an iteration with original
+        operators, and it is why storage use is not monotonic (Figure 9c/d).
+        """
+        removed = []
+        for signature in self.catalog.stale_signatures(node_name, keep_signature or ""):
+            self.delete(signature)
+            removed.append(signature)
+        return removed
+
+    def artifacts(self) -> List[ArtifactRecord]:
+        return self.catalog.records()
+
+    def clear(self) -> None:
+        for record in list(self.catalog.records()):
+            self.delete(record.signature)
+
+
+class DiskStore(MaterializationStore):
+    """Pickle-per-artifact store rooted at a directory, with measured I/O times."""
+
+    def __init__(self, root: Path, budget_bytes: Optional[int] = None):
+        super().__init__(budget_bytes=budget_bytes)
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path_for(self, signature: str) -> Path:
+        return self.root / f"{signature}.pkl"
+
+    def _write(self, signature: str, value: Any) -> Tuple[int, float, str]:
+        path = self._path_for(signature)
+        start = time.perf_counter()
+        payload = serialize(value)
+        path.write_bytes(payload)
+        elapsed = time.perf_counter() - start
+        return len(payload), elapsed, str(path)
+
+    def _read(self, record: ArtifactRecord) -> Tuple[Any, float]:
+        path = Path(record.location) if record.location else self._path_for(record.signature)
+        if not path.exists():
+            raise ArtifactNotFoundError(f"artifact file missing: {path}")
+        start = time.perf_counter()
+        value = deserialize(path.read_bytes())
+        elapsed = time.perf_counter() - start
+        return value, elapsed
+
+    def _delete(self, record: ArtifactRecord) -> None:
+        path = Path(record.location) if record.location else self._path_for(record.signature)
+        if path.exists():
+            path.unlink()
+
+
+class InMemoryStore(MaterializationStore):
+    """Byte-buffer store with modelled I/O times (deterministic, for tests/simulation)."""
+
+    def __init__(self, budget_bytes: Optional[int] = None, disk_bandwidth: float = 170e6,
+                 latency_seconds: float = 1e-4):
+        super().__init__(budget_bytes=budget_bytes)
+        if disk_bandwidth <= 0:
+            raise StorageError("disk bandwidth must be positive")
+        self.disk_bandwidth = disk_bandwidth
+        self.latency_seconds = latency_seconds
+        self._blobs: Dict[str, bytes] = {}
+
+    def _modelled_io_time(self, size_bytes: int) -> float:
+        return self.latency_seconds + size_bytes / self.disk_bandwidth
+
+    def _write(self, signature: str, value: Any) -> Tuple[int, float, str]:
+        payload = serialize(value)
+        self._blobs[signature] = payload
+        return len(payload), self._modelled_io_time(len(payload)), "memory"
+
+    def _read(self, record: ArtifactRecord) -> Tuple[Any, float]:
+        payload = self._blobs.get(record.signature)
+        if payload is None:
+            raise ArtifactNotFoundError(f"artifact bytes missing for {record.node_name!r}")
+        return deserialize(payload), self._modelled_io_time(len(payload))
+
+    def _delete(self, record: ArtifactRecord) -> None:
+        self._blobs.pop(record.signature, None)

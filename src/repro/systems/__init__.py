@@ -1,0 +1,8 @@
+"""Systems under comparison: Helix (OPT/AM/NM), KeystoneML and DeepDive."""
+
+from .base import System
+from .deepdive import DeepDiveSystem
+from .helix import HelixSystem
+from .keystoneml import KeystoneMLSystem
+
+__all__ = ["System", "DeepDiveSystem", "HelixSystem", "KeystoneMLSystem"]

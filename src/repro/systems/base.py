@@ -1,0 +1,49 @@
+"""System interface: how the compared systems execute workflow iterations.
+
+The evaluation compares Helix (with three materialization policies) against
+re-implementations of KeystoneML's and DeepDive's reuse behaviour on the same
+execution substrate, so that measured differences reflect the reuse policies
+rather than unrelated engineering differences.  Every system implements
+:meth:`System.run_iteration`, which takes the workflow for the current
+iteration and returns the :class:`~repro.execution.tracker.RunStats` observed
+while executing it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional
+
+from ..core.workflow import Workflow
+from ..execution.tracker import RunStats
+
+__all__ = ["System"]
+
+
+class System(ABC):
+    """A workflow-execution system participating in the comparison."""
+
+    #: Display name used in benchmark output.
+    name: str = "system"
+
+    @abstractmethod
+    def run_iteration(
+        self,
+        workflow: Workflow,
+        iteration: int,
+        iteration_type: str = "",
+    ) -> RunStats:
+        """Execute one iteration of the workflow and return its statistics."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Discard all cross-iteration state (stores, statistics, signatures)."""
+
+    def supports(self, workload_name: str) -> bool:
+        """Whether the system supports a workload (Table 2 support matrix)."""
+        del workload_name
+        return True
+
+    def storage_bytes(self) -> int:
+        """Bytes of intermediate results currently persisted by the system."""
+        return 0

@@ -1,0 +1,41 @@
+"""Evaluation workloads: Census, Genomics, IE (NLP) and MNIST."""
+
+from .base import WORKLOADS, Workload, WorkloadCharacteristics, get_workload, register
+from .census import CensusConfig, CensusWorkload, generate_census_rows
+from .genomics import GenomicsConfig, GenomicsWorkload, generate_articles, generate_gene_db
+from .iterations import (
+    DEFAULT_ITERATIONS,
+    DOMAIN_FREQUENCIES,
+    IterationSpec,
+    IterationType,
+    build_iteration_plan,
+)
+from .mnist import MnistConfig, MnistWorkload, generate_digit_images
+from .nlp_ie import IEConfig, IEWorkload, generate_news_articles, generate_spouse_kb
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "WorkloadCharacteristics",
+    "get_workload",
+    "register",
+    "CensusConfig",
+    "CensusWorkload",
+    "generate_census_rows",
+    "GenomicsConfig",
+    "GenomicsWorkload",
+    "generate_articles",
+    "generate_gene_db",
+    "DEFAULT_ITERATIONS",
+    "DOMAIN_FREQUENCIES",
+    "IterationSpec",
+    "IterationType",
+    "build_iteration_plan",
+    "MnistConfig",
+    "MnistWorkload",
+    "generate_digit_images",
+    "IEConfig",
+    "IEWorkload",
+    "generate_news_articles",
+    "generate_spouse_kb",
+]

@@ -1,0 +1,315 @@
+"""The Census workload: income classification from demographic attributes.
+
+This is the paper's running example (Figure 3a) and its first evaluation
+workflow: a single CSV-like data source, one-to-one input-to-example mapping,
+fine-grained features and a supervised classification task, representative of
+covariate analysis in the social sciences.
+
+The real UCI Census Income dataset is replaced by a seeded synthetic
+generator producing rows with the same schema (age, education, occupation,
+marital status, capital gain, hours per week, sex, race) and a binary income
+label correlated with those attributes, so the logistic-regression learner
+has real signal to fit.  Records are emitted as raw CSV text lines so that
+the workflow includes the costly parsing step whose reuse the paper
+highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..core.data import DataCollection
+from ..core.operators import (
+    Bucketizer,
+    CSVScanner,
+    DataSource,
+    FieldExtractor,
+    InteractionFeature,
+    Learner,
+    Reducer,
+    RunContext,
+)
+from ..core.workflow import Workflow
+from ..ml.linear import LogisticRegression
+from ..ml.metrics import accuracy, confusion_matrix, f1_score, precision, recall
+from ..ml.naive_bayes import MultinomialNaiveBayes
+from .base import Workload, WorkloadCharacteristics, register
+from .iterations import IterationSpec, IterationType
+
+__all__ = ["CensusConfig", "CensusWorkload", "generate_census_rows", "CENSUS_COLUMNS"]
+
+#: Column order of the synthetic census CSV.
+CENSUS_COLUMNS: Tuple[str, ...] = (
+    "age",
+    "education",
+    "occupation",
+    "marital_status",
+    "race",
+    "sex",
+    "capital_gain",
+    "hours_per_week",
+    "target",
+)
+
+_EDUCATIONS = ("HS-grad", "Some-college", "Bachelors", "Masters", "Doctorate")
+_OCCUPATIONS = ("Clerical", "Craft", "Exec-managerial", "Prof-specialty", "Sales", "Service")
+_MARITAL = ("Married", "Never-married", "Divorced", "Widowed")
+_RACES = ("White", "Black", "Asian", "Other")
+_SEXES = ("Male", "Female")
+
+
+def generate_census_rows(
+    context: RunContext,
+    n_train: int = 1200,
+    n_test: int = 400,
+    seed: int = 0,
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Generate synthetic census rows as raw CSV ``line`` records.
+
+    The income label follows a logistic model over education level,
+    occupation, age, hours worked and capital gains, so downstream learners
+    can achieve accuracy well above chance.
+    """
+    rng = np.random.default_rng(seed)
+
+    def _rows(count: int) -> List[Dict[str, Any]]:
+        rows = []
+        for _ in range(count):
+            age = int(np.clip(rng.normal(40, 12), 18, 85))
+            education_index = int(rng.integers(len(_EDUCATIONS)))
+            occupation_index = int(rng.integers(len(_OCCUPATIONS)))
+            marital = _MARITAL[int(rng.integers(len(_MARITAL)))]
+            race = _RACES[int(rng.integers(len(_RACES)))]
+            sex = _SEXES[int(rng.integers(len(_SEXES)))]
+            # Capital gain is reported in thousands so the numeric feature is on
+            # the same scale as the indicator features (keeps GD well-conditioned).
+            capital_gain = float(np.round(max(0.0, rng.exponential(0.9) - 0.4), 3))
+            hours = int(np.clip(rng.normal(41, 10), 10, 80))
+            logit = (
+                -4.0
+                + 0.9 * education_index
+                + 0.35 * occupation_index
+                + 0.04 * (age - 40)
+                + 0.03 * (hours - 40)
+                + 1.5 * capital_gain
+                + (0.4 if marital == "Married" else 0.0)
+            )
+            probability = 1.0 / (1.0 + np.exp(-logit))
+            target = int(rng.random() < probability)
+            values = (
+                age,
+                _EDUCATIONS[education_index],
+                _OCCUPATIONS[occupation_index],
+                marital,
+                race,
+                sex,
+                capital_gain,
+                hours,
+                target,
+            )
+            rows.append({"line": ",".join(str(v) for v in values)})
+        return rows
+
+    return _rows(int(n_train)), _rows(int(n_test))
+
+
+@dataclass(frozen=True)
+class CensusConfig:
+    """Configuration of the census workflow at one iteration."""
+
+    n_train: int = 1200
+    n_test: int = 400
+    data_seed: int = 0
+    #: Extractor node names attached to ``rows`` (manual feature selection).
+    #: Raw numeric ``ageExt`` is declared but not active by default — the
+    #: discretized ``ageBucket`` stands in for it, as in the paper's example.
+    active_extractors: Tuple[str, ...] = (
+        "eduExt",
+        "occExt",
+        "ageBucket",
+        "eduXocc",
+        "clExt",
+    )
+    bucket_bins: int = 10
+    model_type: str = "lr"
+    reg_param: float = 0.1
+    learning_rate: float = 0.5
+    max_iter: int = 300
+    nb_alpha: float = 1.0
+    ppr_metric: str = "accuracy"
+
+    def scaled(self, factor: float) -> "CensusConfig":
+        """Scale the dataset size (the paper's Census 10x experiment)."""
+        return replace(
+            self,
+            n_train=int(self.n_train * factor),
+            n_test=int(self.n_test * factor),
+        )
+
+
+def _evaluate_predictions(collection: DataCollection, metric: str = "accuracy") -> Dict[str, float]:
+    """PPR reducer UDF: compare predictions with labels on the given collection."""
+    labels = [e.label for e in collection if e.label is not None and e.prediction is not None]
+    predictions = [e.prediction for e in collection if e.label is not None and e.prediction is not None]
+    result: Dict[str, float] = {"n": float(len(labels))}
+    if not labels:
+        return result
+    if metric == "accuracy":
+        result["accuracy"] = accuracy(labels, predictions)
+    elif metric == "f1":
+        result["f1"] = f1_score(labels, predictions)
+        result["precision"] = precision(labels, predictions)
+        result["recall"] = recall(labels, predictions)
+    elif metric == "confusion":
+        result.update({k: float(v) for k, v in confusion_matrix(labels, predictions).items()})
+    else:
+        result["accuracy"] = accuracy(labels, predictions)
+    return result
+
+
+class CensusWorkload(Workload):
+    """Builder + iteration model for the census workflow."""
+
+    name = "census"
+    domain = "social_sciences"
+
+    #: All extractors the program declares (including the unused ``raceExt``
+    #: that output-driven pruning removes, as in Figure 3b).
+    DECLARED_EXTRACTORS: Tuple[str, ...] = (
+        "eduExt",
+        "occExt",
+        "ageExt",
+        "msExt",
+        "clExt",
+        "sexExt",
+        "hoursExt",
+        "raceExt",
+    )
+
+    _FIELD_OF_EXTRACTOR: Mapping[str, str] = {
+        "eduExt": "education",
+        "occExt": "occupation",
+        "ageExt": "age",
+        "msExt": "marital_status",
+        "clExt": "capital_gain",
+        "sexExt": "sex",
+        "hoursExt": "hours_per_week",
+        "raceExt": "race",
+    }
+
+    def characteristics(self) -> WorkloadCharacteristics:
+        return WorkloadCharacteristics(
+            name="Census",
+            domain=self.domain,
+            application_domain="Social Sciences",
+            num_data_sources="Single",
+            input_to_example="One-to-One",
+            feature_granularity="Fine Grained",
+            learning_task="Supervised; Classification",
+            supported_by_helix=True,
+            supported_by_keystoneml=True,
+            supported_by_deepdive=True,
+        )
+
+    def initial_config(self, scale: float = 1.0, seed: int = 0) -> CensusConfig:
+        return CensusConfig(data_seed=seed).scaled(scale)
+
+    # ------------------------------------------------------------------ iterations
+    def apply_iteration(
+        self, config: CensusConfig, spec: IterationSpec, rng: np.random.Generator
+    ) -> CensusConfig:
+        """One developer modification of the given type."""
+        if spec.index == 0:
+            return config
+        if spec.kind == IterationType.DPR:
+            action = int(rng.integers(3))
+            if action == 0:
+                # Add or remove the marital-status feature (the paper's msExt edit).
+                active = set(config.active_extractors)
+                if "msExt" in active:
+                    active.discard("msExt")
+                else:
+                    active.add("msExt")
+                return replace(config, active_extractors=tuple(sorted(active)))
+            if action == 1:
+                # Toggle the capital-gain feature.
+                active = set(config.active_extractors)
+                if "clExt" in active:
+                    active.discard("clExt")
+                else:
+                    active.add("clExt")
+                return replace(config, active_extractors=tuple(sorted(active)))
+            # Change the age discretization granularity.
+            new_bins = 8 if config.bucket_bins != 8 else 12
+            return replace(config, bucket_bins=new_bins)
+        if spec.kind == IterationType.LI:
+            if int(rng.integers(2)) == 0 or config.model_type != "lr":
+                new_model = "nb" if config.model_type == "lr" else "lr"
+                return replace(config, model_type=new_model)
+            return replace(config, reg_param=config.reg_param * float(rng.choice([0.5, 2.0])))
+        # PPR: change the evaluation performed on the predictions.
+        cycle = {"accuracy": "f1", "f1": "confusion", "confusion": "accuracy"}
+        return replace(config, ppr_metric=cycle.get(config.ppr_metric, "accuracy"))
+
+    # ------------------------------------------------------------------ building
+    def _make_model_factory(self, config: CensusConfig):
+        if config.model_type == "nb":
+            return MultinomialNaiveBayes, {"alpha": config.nb_alpha}
+        return (
+            LogisticRegression,
+            {
+                "reg_param": config.reg_param,
+                "learning_rate": config.learning_rate,
+                "max_iter": config.max_iter,
+            },
+        )
+
+    def build(self, config: CensusConfig) -> Workflow:
+        wf = Workflow("census")
+        wf.data_source(
+            "data",
+            DataSource(
+                generator=generate_census_rows,
+                params={
+                    "n_train": config.n_train,
+                    "n_test": config.n_test,
+                    "seed": config.data_seed,
+                },
+            ),
+        )
+        wf.scan("rows", "data", CSVScanner(CENSUS_COLUMNS, line_field="line"))
+
+        for extractor_name in self.DECLARED_EXTRACTORS:
+            field_name = self._FIELD_OF_EXTRACTOR[extractor_name]
+            wf.extractor(extractor_name, "rows", FieldExtractor(field_name), attach_to=None)
+        wf.extractor("target", "rows", FieldExtractor("target", as_categorical=False))
+        wf.extractor("ageBucket", "ageExt", Bucketizer("age", bins=config.bucket_bins))
+        wf.extractor(
+            "eduXocc", ["eduExt", "occExt"], InteractionFeature(["education", "occupation"])
+        )
+
+        active = [name for name in config.active_extractors if name in wf]
+        wf.has_extractors("rows", active)
+        wf.examples("income", "rows", extractors=active, label="target")
+
+        factory, params = self._make_model_factory(config)
+        wf.learner("predictions", "income", Learner(factory, params=params, name="incPred"))
+        wf.reducer(
+            "checked",
+            "predictions",
+            Reducer(
+                _evaluate_predictions,
+                on_test_only=True,
+                name="checkResults",
+                params={"metric": config.ppr_metric},
+            ),
+            uses=["target"],
+        )
+        wf.output("checked")
+        return wf
+
+
+register(CensusWorkload())

@@ -1,0 +1,283 @@
+"""The MNIST workload: handwritten-digit classification with random features.
+
+Reproduces the paper's computer-vision workflow (from the KeystoneML
+evaluation): images are featurized with a random Fourier-feature transform
+(the "random FFT" pipeline) and classified with a linear model.  The workflow
+characteristics from Table 2: a single data source, one-to-one mapping,
+coarse-grained features, supervised classification.
+
+What this workload stresses in the evaluation (Section 6.5.2, Figure 5d/6d):
+its data preprocessing is cheap to compute but produces *large* intermediates,
+so materializing the DPR outputs would cost more than it could ever save.
+Helix OPT therefore materializes only the small L/I result, reuses it on
+PPR-only iterations, and otherwise performs comparably to a system with no
+reuse at all — it must not pay a large overhead when there is little reuse to
+exploit.
+
+Real MNIST images are replaced by a seeded generator that renders 8x8
+prototype glyphs per digit class and perturbs them with noise; the binary
+classification target is "digit >= 5".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.data import DataCollection, ElementKind, FeatureVector, Record, SemanticUnit, Split
+from ..core.operators import (
+    Component,
+    DataSource,
+    Extractor,
+    FieldExtractor,
+    Learner,
+    Reducer,
+    RunContext,
+)
+from ..core.workflow import Workflow
+from ..ml.linear import LogisticRegression
+from ..ml.metrics import accuracy, confusion_matrix, f1_score
+from ..ml.preprocessing import RandomFourierFeatures
+from .base import Workload, WorkloadCharacteristics, register
+from .iterations import IterationSpec, IterationType
+
+__all__ = ["MnistConfig", "MnistWorkload", "generate_digit_images", "RandomFourierExtractor"]
+
+_IMAGE_SIZE = 8
+
+# Eight-by-eight prototype strokes per digit (very coarse, but class-separable).
+_PROTOTYPE_SEEDS = {digit: digit * 101 + 7 for digit in range(10)}
+
+
+def _prototype(digit: int, size: int) -> np.ndarray:
+    rng = np.random.default_rng(_PROTOTYPE_SEEDS[digit])
+    base = rng.random((size, size))
+    # Carve a digit-specific band structure so classes are distinguishable.
+    canvas = np.zeros((size, size))
+    row = digit % size
+    col = (digit * 3) % size
+    canvas[row, :] = 1.0
+    canvas[:, col] = 1.0
+    canvas[(row + digit) % size, (col + 1) % size] = 2.0
+    return 0.6 * canvas + 0.4 * base
+
+
+def generate_digit_images(
+    context: RunContext,
+    n_train: int = 600,
+    n_test: int = 200,
+    image_size: int = _IMAGE_SIZE,
+    noise: float = 0.35,
+    seed: int = 0,
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Generate noisy prototype digit images with a binary >=5 target."""
+    del context
+    rng = np.random.default_rng(seed)
+    prototypes = {digit: _prototype(digit, image_size) for digit in range(10)}
+
+    def _rows(count: int) -> List[Dict[str, Any]]:
+        rows = []
+        for _ in range(count):
+            digit = int(rng.integers(10))
+            image = prototypes[digit] + noise * rng.standard_normal((image_size, image_size))
+            rows.append(
+                {
+                    "pixels": image.astype(np.float32).ravel(),
+                    "digit": digit,
+                    "target": int(digit >= 5),
+                }
+            )
+        return rows
+
+    return _rows(int(n_train)), _rows(int(n_test))
+
+
+@dataclass(frozen=True)
+class MnistConfig:
+    """Configuration of the MNIST workflow at one iteration."""
+
+    n_train: int = 600
+    n_test: int = 200
+    image_size: int = _IMAGE_SIZE
+    noise: float = 0.35
+    data_seed: int = 0
+    normalize: bool = True
+    rff_components: int = 96
+    rff_gamma: float = 1.0
+    rff_seed: int = 1
+    reg_param: float = 0.01
+    max_iter: int = 400
+    ppr_metric: str = "accuracy"
+
+    def scaled(self, factor: float) -> "MnistConfig":
+        return replace(self, n_train=int(self.n_train * factor), n_test=int(self.n_test * factor))
+
+
+class RandomFourierExtractor(Extractor):
+    """Random-Fourier featurization of the raw pixel vectors.
+
+    Fast to compute (a single matrix multiply) but with a large output — the
+    combination the paper's MNIST experiment uses to show that indiscriminate
+    materialization is harmful.
+    """
+
+    def __init__(self, n_components: int = 96, gamma: float = 1.0, seed: int = 1,
+                 normalize: bool = True):
+        self.n_components = n_components
+        self.gamma = gamma
+        self.seed = seed
+        self.normalize = normalize
+        self.feature_name = "rff"
+
+    def config(self) -> Dict[str, Any]:
+        return {
+            "n_components": self.n_components,
+            "gamma": self.gamma,
+            "seed": self.seed,
+            "normalize": self.normalize,
+        }
+
+    def estimated_cost(self, input_sizes: Sequence[int]) -> float:
+        return 2e-7 * (sum(input_sizes) + 1)
+
+    def run(self, inputs: Sequence[Any], context: RunContext) -> DataCollection:
+        (records,) = inputs
+        pixel_rows = []
+        splits = []
+        for record in records:
+            pixels = np.asarray(record.get("pixels"), dtype=float)
+            if self.normalize:
+                scale = np.linalg.norm(pixels) or 1.0
+                pixels = pixels / scale
+            pixel_rows.append(pixels)
+            splits.append(record.split)
+        if not pixel_rows:
+            return DataCollection("rff", [], kind=ElementKind.SEMANTIC_UNIT)
+        X = np.vstack(pixel_rows)
+        transformer = RandomFourierFeatures(
+            n_components=self.n_components, gamma=self.gamma, seed=self.seed
+        )
+        features = transformer.fit_transform(X)
+        units = [
+            SemanticUnit(
+                input=None,
+                source=self.feature_name,
+                output=FeatureVector.from_dense(row, prefix="rff"),
+                split=split,
+            )
+            for row, split in zip(features, splits)
+        ]
+        return DataCollection("rff", units, kind=ElementKind.SEMANTIC_UNIT)
+
+
+def _evaluate_digits(collection: DataCollection, metric: str = "accuracy") -> Dict[str, float]:
+    """PPR reducer: accuracy / F1 / confusion counts on the test images."""
+    labels = [e.label for e in collection if e.label is not None and e.prediction is not None]
+    predictions = [e.prediction for e in collection if e.label is not None and e.prediction is not None]
+    report: Dict[str, float] = {"n": float(len(labels))}
+    if not labels:
+        return report
+    if metric == "f1":
+        report["f1"] = f1_score(labels, predictions)
+    elif metric == "confusion":
+        report.update({k: float(v) for k, v in confusion_matrix(labels, predictions).items()})
+    else:
+        report["accuracy"] = accuracy(labels, predictions)
+    return report
+
+
+class MnistWorkload(Workload):
+    """Builder + iteration model for the MNIST workflow."""
+
+    name = "mnist"
+    domain = "computer_vision"
+
+    def characteristics(self) -> WorkloadCharacteristics:
+        return WorkloadCharacteristics(
+            name="MNIST",
+            domain=self.domain,
+            application_domain="Computer Vision",
+            num_data_sources="Single",
+            input_to_example="One-to-One",
+            feature_granularity="Coarse Grained",
+            learning_task="Supervised; Classification",
+            supported_by_helix=True,
+            supported_by_keystoneml=True,
+            supported_by_deepdive=False,
+        )
+
+    def initial_config(self, scale: float = 1.0, seed: int = 0) -> MnistConfig:
+        return MnistConfig(data_seed=seed).scaled(scale)
+
+    def apply_iteration(
+        self, config: MnistConfig, spec: IterationSpec, rng: np.random.Generator
+    ) -> MnistConfig:
+        if spec.index == 0:
+            return config
+        if spec.kind == IterationType.DPR:
+            action = int(rng.integers(3))
+            if action == 0:
+                # Re-draw the random featurization (the non-deterministic DPR step).
+                return replace(config, rff_seed=config.rff_seed + 1)
+            if action == 1:
+                return replace(config, rff_components=48 if config.rff_components != 48 else 96)
+            return replace(config, rff_gamma=config.rff_gamma * float(rng.choice([0.5, 2.0])))
+        if spec.kind == IterationType.LI:
+            return replace(config, reg_param=config.reg_param * float(rng.choice([0.5, 2.0])))
+        cycle = {"accuracy": "f1", "f1": "confusion", "confusion": "accuracy"}
+        return replace(config, ppr_metric=cycle.get(config.ppr_metric, "accuracy"))
+
+    def build(self, config: MnistConfig) -> Workflow:
+        wf = Workflow("mnist")
+        wf.data_source(
+            "images",
+            DataSource(
+                generator=generate_digit_images,
+                params={
+                    "n_train": config.n_train,
+                    "n_test": config.n_test,
+                    "image_size": config.image_size,
+                    "noise": config.noise,
+                    "seed": config.data_seed,
+                },
+            ),
+        )
+        wf.extractor(
+            "rffFeatures",
+            "images",
+            RandomFourierExtractor(
+                n_components=config.rff_components,
+                gamma=config.rff_gamma,
+                seed=config.rff_seed,
+                normalize=config.normalize,
+            ),
+        )
+        wf.extractor("target", "images", FieldExtractor("target", as_categorical=False))
+        wf.has_extractors("images", ["rffFeatures"])
+        wf.examples("digits", "images", extractors=["rffFeatures"], label="target")
+        wf.learner(
+            "predictions",
+            "digits",
+            Learner(
+                LogisticRegression,
+                params={"reg_param": config.reg_param, "max_iter": config.max_iter},
+                name="digitPred",
+            ),
+        )
+        wf.reducer(
+            "digit_accuracy",
+            "predictions",
+            Reducer(
+                _evaluate_digits,
+                on_test_only=True,
+                name="checkDigits",
+                params={"metric": config.ppr_metric},
+            ),
+        )
+        wf.output("digit_accuracy")
+        return wf
+
+
+register(MnistWorkload())

@@ -1,0 +1,440 @@
+"""The Information Extraction (IE) workload: spouse-pair extraction from news text.
+
+Reproduces the paper's third evaluation workflow (from the DeepDive spouse
+example): identify mentions of spouse pairs in news articles using a
+knowledge base of known pairs for distant supervision.  The workflow joins
+multiple data sources, maps each input article onto zero or more candidate
+pairs (one-to-many), uses complex fine-grained features including
+part-of-speech tags, and trains a structured-prediction-style classifier over
+candidate pairs.
+
+The expensive first step — NLP parsing of every article (sentence splitting,
+tokenization, POS tagging) — is the operator whose cross-iteration reuse
+drives the large gap between Helix and DeepDive in Figure 5(c): its result is
+reusable in every subsequent iteration of this DPR-only workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.data import DataCollection, ElementKind, FeatureVector, Record, Split
+from ..core.operators import (
+    Component,
+    DataSource,
+    FieldExtractor,
+    FunctionExtractor,
+    Learner,
+    Operator,
+    Reducer,
+    RunContext,
+    Scanner,
+)
+from ..core.workflow import Workflow
+from ..ml.linear import LogisticRegression
+from ..ml.metrics import accuracy, f1_score, precision, recall
+from ..ml.preprocessing import HashingVectorizer
+from ..ml.text import pos_tag, split_sentences, tokenize
+from .base import Workload, WorkloadCharacteristics, register
+from .iterations import IterationSpec, IterationType
+
+__all__ = [
+    "IEConfig",
+    "IEWorkload",
+    "generate_news_articles",
+    "generate_spouse_kb",
+    "SentenceParser",
+    "CandidateScanner",
+    "KBLabeler",
+]
+
+_FIRST_NAMES = (
+    "Alice", "Bruno", "Carla", "Derek", "Elena", "Felix", "Grace", "Hugo",
+    "Irene", "Jonas", "Karen", "Luis", "Marta", "Nils", "Olga", "Pavel",
+    "Quinn", "Rosa", "Stefan", "Tina",
+)
+_LAST_NAMES = (
+    "Anders", "Brooks", "Castro", "Dvorak", "Evans", "Fischer", "Garcia",
+    "Hoffman", "Ivanov", "Jensen", "Keller", "Lindqvist", "Moreau", "Novak",
+    "Olsen", "Petrov", "Quintana", "Ritter", "Schmidt", "Tanaka",
+)
+_SPOUSE_TEMPLATES = (
+    "{a} married {b} in a small ceremony last spring.",
+    "{a} and spouse {b} attended the gala together.",
+    "The couple {a} and {b} celebrated their anniversary.",
+)
+_OTHER_TEMPLATES = (
+    "{a} met {b} at the annual conference to discuss policy.",
+    "{a} criticized the proposal presented by {b} on Monday.",
+    "{a} and {b} co-founded a company focused on logistics.",
+    "The committee led by {a} interviewed {b} about the report.",
+)
+_FILLER_SENTENCES = (
+    "The markets closed slightly higher after a volatile session.",
+    "Officials announced new infrastructure spending for the region.",
+    "The weather service issued a warning for heavy rain this weekend.",
+)
+
+
+def _person_pool(n_persons: int) -> List[str]:
+    pool = []
+    for i in range(n_persons):
+        first = _FIRST_NAMES[i % len(_FIRST_NAMES)]
+        last = _LAST_NAMES[(i // len(_FIRST_NAMES) + i) % len(_LAST_NAMES)]
+        pool.append(f"{first} {last}")
+    return pool
+
+
+def generate_spouse_kb(
+    context: RunContext, n_persons: int = 40, n_pairs: int = 25, seed: int = 0
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Generate the knowledge base of known spouse pairs."""
+    del context
+    rng = np.random.default_rng(seed)
+    pool = _person_pool(n_persons)
+    pairs = set()
+    while len(pairs) < min(n_pairs, n_persons // 2):
+        a, b = rng.choice(len(pool), size=2, replace=False)
+        pairs.add(tuple(sorted((pool[int(a)], pool[int(b)]))))
+    rows = [{"person_a": a, "person_b": b} for a, b in sorted(pairs)]
+    return rows, []
+
+
+def generate_news_articles(
+    context: RunContext,
+    n_articles: int = 150,
+    n_persons: int = 40,
+    n_pairs: int = 25,
+    sentences_per_article: int = 4,
+    seed: int = 0,
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Generate synthetic news articles, some mentioning known spouse pairs."""
+    del context
+    rng = np.random.default_rng(seed)
+    pool = _person_pool(n_persons)
+    kb_rows, _ = generate_spouse_kb(RunContext(), n_persons=n_persons, n_pairs=n_pairs, seed=seed)
+    kb_pairs = [(row["person_a"], row["person_b"]) for row in kb_rows]
+
+    def _article(doc_id: int) -> Dict[str, Any]:
+        sentences: List[str] = []
+        for _ in range(sentences_per_article):
+            roll = rng.random()
+            if roll < 0.35 and kb_pairs:
+                a, b = kb_pairs[int(rng.integers(len(kb_pairs)))]
+                template = _SPOUSE_TEMPLATES[int(rng.integers(len(_SPOUSE_TEMPLATES)))]
+                sentences.append(template.format(a=a, b=b))
+            elif roll < 0.75:
+                a, b = rng.choice(len(pool), size=2, replace=False)
+                template = _OTHER_TEMPLATES[int(rng.integers(len(_OTHER_TEMPLATES)))]
+                sentences.append(template.format(a=pool[int(a)], b=pool[int(b)]))
+            else:
+                sentences.append(_FILLER_SENTENCES[int(rng.integers(len(_FILLER_SENTENCES)))])
+        return {"doc_id": doc_id, "text": " ".join(sentences)}
+
+    n_total = int(n_articles)
+    n_test = max(1, n_total // 4)
+    articles = [_article(i) for i in range(n_total)]
+    return articles[: n_total - n_test], articles[n_total - n_test :]
+
+
+@dataclass(frozen=True)
+class IEConfig:
+    """Configuration of the IE workflow at one iteration."""
+
+    n_articles: int = 160
+    n_persons: int = 40
+    n_pairs: int = 25
+    sentences_per_article: int = 4
+    data_seed: int = 0
+    active_features: Tuple[str, ...] = ("betweenWords", "posPattern", "distance")
+    hashing_dims: int = 64
+    max_between_tokens: int = 12
+    reg_param: float = 0.1
+    max_iter: int = 150
+    ppr_metric: str = "f1"
+
+    def scaled(self, factor: float) -> "IEConfig":
+        return replace(self, n_articles=int(self.n_articles * factor))
+
+
+# ---------------------------------------------------------------------------
+# Workload-specific operators
+# ---------------------------------------------------------------------------
+class SentenceParser(Scanner):
+    """The expensive NLP parsing step: sentence splitting + tokenization + POS tags.
+
+    One input article produces one record per sentence, carrying its tokens
+    and tags; this output is what Helix materializes once and reuses in every
+    subsequent iteration of the (DPR-only) IE workload.
+    """
+
+    def __init__(self):
+        super().__init__(self._parse, name="sentence_parser")
+
+    def config(self) -> Dict[str, Any]:
+        return {}
+
+    def estimated_cost(self, input_sizes: Sequence[int]) -> float:
+        return 1e-5 * (sum(input_sizes) + 1)
+
+    def _parse(self, record: Record) -> Iterable[Record]:
+        produced = []
+        for position, sentence in enumerate(split_sentences(str(record.get("text", "")))):
+            tokens = tokenize(sentence, lowercase=False)
+            tags = pos_tag(tokens)
+            produced.append(
+                record.with_fields(
+                    sentence=sentence,
+                    sentence_index=position,
+                    tokens=tuple(tokens),
+                    pos_tags=tuple(tag for _token, tag in tags),
+                )
+            )
+        return produced
+
+
+class CandidateScanner(Scanner):
+    """Generate person-pair candidates from parsed sentences.
+
+    Person mentions are maximal runs of capitalized tokens (NNP); every
+    ordered pair of distinct mentions within a sentence becomes a candidate
+    with the tokens between them attached for feature extraction.
+    """
+
+    def __init__(self, max_between_tokens: int = 12):
+        self.max_between_tokens = max_between_tokens
+        super().__init__(self._candidates, name="candidate_scanner")
+
+    def config(self) -> Dict[str, Any]:
+        return {"max_between_tokens": self.max_between_tokens}
+
+    @staticmethod
+    def _person_mentions(tokens: Sequence[str], tags: Sequence[str]) -> List[Tuple[int, int, str]]:
+        mentions = []
+        i = 0
+        while i < len(tokens):
+            if tags[i] == "NNP":
+                j = i
+                while j + 1 < len(tokens) and tags[j + 1] == "NNP":
+                    j += 1
+                mentions.append((i, j, " ".join(tokens[i : j + 1])))
+                i = j + 1
+            else:
+                i += 1
+        return mentions
+
+    def _candidates(self, record: Record) -> Iterable[Record]:
+        tokens = list(record.get("tokens", ()))
+        tags = list(record.get("pos_tags", ()))
+        mentions = self._person_mentions(tokens, tags)
+        produced = []
+        for a_index in range(len(mentions)):
+            for b_index in range(a_index + 1, len(mentions)):
+                a_start, a_end, a_text = mentions[a_index]
+                b_start, b_end, b_text = mentions[b_index]
+                gap = b_start - a_end - 1
+                if gap < 0 or gap > self.max_between_tokens:
+                    continue
+                between = tokens[a_end + 1 : b_start]
+                between_tags = tags[a_end + 1 : b_start]
+                produced.append(
+                    record.with_fields(
+                        person_a=a_text,
+                        person_b=b_text,
+                        between_tokens=tuple(between),
+                        between_tags=tuple(between_tags),
+                        token_distance=gap,
+                    )
+                )
+        return produced
+
+
+class KBLabeler(Operator):
+    """Distant supervision: label candidates by joining with the spouse KB."""
+
+    component = Component.DPR
+
+    def config(self) -> Dict[str, Any]:
+        return {}
+
+    def run(self, inputs: Sequence[Any], context: RunContext) -> DataCollection:
+        candidates, kb = inputs
+        known = {
+            tuple(sorted((str(row.get("person_a")), str(row.get("person_b")))))
+            for row in kb
+        }
+        labeled = []
+        for record in candidates:
+            pair = tuple(sorted((str(record.get("person_a")), str(record.get("person_b")))))
+            labeled.append(record.with_fields(label=int(pair in known)))
+        return DataCollection("labeled_candidates", labeled, kind=ElementKind.RECORD)
+
+
+def _between_words_extractor(hashing_dims: int):
+    """Factory for the bag-of-words-between-mentions feature extractor UDF."""
+    vectorizer = HashingVectorizer(n_features=hashing_dims, seed=13)
+
+    def _extract(record: Record) -> FeatureVector:
+        tokens = [t.lower() for t in record.get("between_tokens", ())]
+        dense = vectorizer.transform_one(tokens)
+        return FeatureVector(
+            {f"bw_{i}": float(v) for i, v in enumerate(dense) if v != 0.0}
+        )
+
+    _extract._version = hashing_dims  # signature changes when dimensionality changes
+    return _extract
+
+
+def _pos_pattern_extractor(record: Record) -> FeatureVector:
+    """Indicator for the POS-tag pattern between the two person mentions."""
+    pattern = "-".join(record.get("between_tags", ())[:6]) or "EMPTY"
+    return FeatureVector.one_hot("pos_pattern", pattern)
+
+
+def _distance_extractor(record: Record) -> FeatureVector:
+    """Numeric token-distance feature between the two mentions."""
+    return FeatureVector.scalar("token_distance", float(record.get("token_distance", 0)))
+
+
+def _verb_extractor(record: Record) -> FeatureVector:
+    """Indicator for whether a verb appears between the mentions."""
+    has_verb = any(tag == "VB" for tag in record.get("between_tags", ()))
+    return FeatureVector.scalar("has_verb_between", 1.0 if has_verb else 0.0)
+
+
+def _evaluate_ie(collection: DataCollection, metric: str = "f1") -> Dict[str, float]:
+    """PPR reducer: precision/recall/F1 (or accuracy) on the test candidates."""
+    labels = [e.label for e in collection if e.label is not None and e.prediction is not None]
+    predictions = [e.prediction for e in collection if e.label is not None and e.prediction is not None]
+    report: Dict[str, float] = {"n": float(len(labels))}
+    if not labels:
+        return report
+    if metric == "accuracy":
+        report["accuracy"] = accuracy(labels, predictions)
+    else:
+        report["precision"] = precision(labels, predictions)
+        report["recall"] = recall(labels, predictions)
+        report["f1"] = f1_score(labels, predictions)
+    return report
+
+
+class IEWorkload(Workload):
+    """Builder + iteration model for the information-extraction workflow."""
+
+    name = "nlp"
+    domain = "nlp"
+
+    def characteristics(self) -> WorkloadCharacteristics:
+        return WorkloadCharacteristics(
+            name="IE",
+            domain=self.domain,
+            application_domain="NLP",
+            num_data_sources="Multiple",
+            input_to_example="One-to-Many",
+            feature_granularity="Fine Grained",
+            learning_task="Structured Prediction",
+            supported_by_helix=True,
+            supported_by_keystoneml=False,
+            supported_by_deepdive=True,
+        )
+
+    def initial_config(self, scale: float = 1.0, seed: int = 0) -> IEConfig:
+        return IEConfig(data_seed=seed).scaled(scale)
+
+    def apply_iteration(
+        self, config: IEConfig, spec: IterationSpec, rng: np.random.Generator
+    ) -> IEConfig:
+        if spec.index == 0:
+            return config
+        # The NLP workload has only DPR iterations (paper, Section 6.3).
+        action = int(rng.integers(4))
+        if action == 0:
+            active = set(config.active_features)
+            if "hasVerb" in active:
+                active.discard("hasVerb")
+            else:
+                active.add("hasVerb")
+            return replace(config, active_features=tuple(sorted(active)))
+        if action == 1:
+            active = set(config.active_features)
+            if "posPattern" in active and len(active) > 2:
+                active.discard("posPattern")
+            else:
+                active.add("posPattern")
+            return replace(config, active_features=tuple(sorted(active)))
+        if action == 2:
+            return replace(config, hashing_dims=48 if config.hashing_dims != 48 else 96)
+        return replace(config, max_between_tokens=8 if config.max_between_tokens != 8 else 16)
+
+    def build(self, config: IEConfig) -> Workflow:
+        wf = Workflow("nlp_ie")
+        wf.data_source(
+            "articles",
+            DataSource(
+                generator=generate_news_articles,
+                params={
+                    "n_articles": config.n_articles,
+                    "n_persons": config.n_persons,
+                    "n_pairs": config.n_pairs,
+                    "sentences_per_article": config.sentences_per_article,
+                    "seed": config.data_seed,
+                },
+            ),
+        )
+        wf.data_source(
+            "spouse_kb",
+            DataSource(
+                generator=generate_spouse_kb,
+                params={
+                    "n_persons": config.n_persons,
+                    "n_pairs": config.n_pairs,
+                    "seed": config.data_seed,
+                },
+            ),
+        )
+        wf.scan("sentences", "articles", SentenceParser())
+        wf.scan("candidates", "sentences", CandidateScanner(config.max_between_tokens))
+        wf.node("labeled", KBLabeler(), parents=["candidates", "spouse_kb"])
+
+        feature_nodes: Dict[str, FunctionExtractor] = {
+            "betweenWords": FunctionExtractor(
+                "betweenWords", _between_words_extractor(config.hashing_dims)
+            ),
+            "posPattern": FunctionExtractor("posPattern", _pos_pattern_extractor),
+            "distance": FunctionExtractor("distance", _distance_extractor),
+            "hasVerb": FunctionExtractor("hasVerb", _verb_extractor),
+        }
+        for name, extractor in feature_nodes.items():
+            wf.extractor(name, "labeled", extractor)
+        wf.extractor("pairLabel", "labeled", FieldExtractor("label", as_categorical=False))
+
+        active = [name for name in config.active_features if name in feature_nodes]
+        wf.has_extractors("labeled", active)
+        wf.examples("pairs", "labeled", extractors=active, label="pairLabel")
+        wf.learner(
+            "predictions",
+            "pairs",
+            Learner(
+                LogisticRegression,
+                params={"reg_param": config.reg_param, "max_iter": config.max_iter},
+                name="spousePred",
+            ),
+        )
+        wf.reducer(
+            "extraction_quality",
+            "predictions",
+            Reducer(
+                _evaluate_ie,
+                on_test_only=True,
+                name="checkExtraction",
+                params={"metric": config.ppr_metric},
+            ),
+        )
+        wf.output("extraction_quality")
+        return wf
+
+
+register(IEWorkload())

@@ -1,0 +1,85 @@
+"""Unit tests for the operator caches (eager Helix cache, LRU baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExecutionError
+from repro.execution.cache import CacheEntry, EagerCache, LRUCache
+
+
+class TestEagerCache:
+    def test_put_get(self):
+        cache = EagerCache()
+        cache.put("a", [1, 2, 3])
+        assert cache.get("a") == [1, 2, 3]
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_get_missing_raises(self):
+        with pytest.raises(ExecutionError):
+            EagerCache().get("nope")
+
+    def test_evict(self):
+        cache = EagerCache()
+        cache.put("a", 1)
+        entry = cache.evict("a")
+        assert isinstance(entry, CacheEntry)
+        assert entry.value == 1
+        assert "a" not in cache
+        assert cache.evict("a") is None
+
+    def test_snapshot_bytes_tracks_entries(self):
+        cache = EagerCache()
+        assert cache.snapshot_bytes() == 0
+        cache.put("a", list(range(100)))
+        assert cache.snapshot_bytes() > 0
+        before = cache.snapshot_bytes()
+        cache.put("b", list(range(1000)))
+        assert cache.snapshot_bytes() > before
+
+    def test_explicit_size_respected(self):
+        cache = EagerCache()
+        cache.put("a", "value", size_bytes=12345)
+        assert cache.snapshot_bytes() == 12345
+
+    def test_clear(self):
+        cache = EagerCache()
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestLRUCache:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ExecutionError):
+            LRUCache(capacity_bytes=0)
+
+    def test_evicts_least_recently_used_under_pressure(self):
+        cache = LRUCache(capacity_bytes=250)
+        cache.put("a", "x", size_bytes=100)
+        cache.put("b", "y", size_bytes=100)
+        cache.put("c", "z", size_bytes=100)  # exceeds capacity -> evict "a"
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        assert cache.evicted_by_pressure == ["a"]
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(capacity_bytes=250)
+        cache.put("a", "x", size_bytes=100)
+        cache.put("b", "y", size_bytes=100)
+        cache.get("a")  # a becomes most recent
+        cache.put("c", "z", size_bytes=100)
+        assert "b" not in cache
+        assert "a" in cache
+
+    def test_new_entry_never_immediately_evicted(self):
+        cache = LRUCache(capacity_bytes=50)
+        cache.put("big", "x", size_bytes=100)
+        assert "big" in cache
+
+    def test_keys(self):
+        cache = LRUCache(capacity_bytes=1000)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.keys() == ["a", "b"]

@@ -1,0 +1,177 @@
+"""Unit tests for the core data model (records, feature vectors, collections)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.data import (
+    DataCollection,
+    ElementKind,
+    Example,
+    FeatureVector,
+    Record,
+    SemanticUnit,
+    Split,
+)
+
+
+class TestRecord:
+    def test_getitem_and_get(self):
+        record = Record(fields={"age": 30, "name": "x"})
+        assert record["age"] == 30
+        assert record.get("missing", 5) == 5
+        assert "name" in record
+
+    def test_default_split_is_all(self):
+        assert Record(fields={}).split is Split.ALL
+
+    def test_with_fields_merges_and_preserves_split(self):
+        record = Record(fields={"a": 1}, split=Split.TEST)
+        updated = record.with_fields(b=2, a=3)
+        assert updated["a"] == 3 and updated["b"] == 2
+        assert updated.split is Split.TEST
+        assert record["a"] == 1  # original untouched
+
+    def test_keys(self):
+        record = Record(fields={"a": 1, "b": 2})
+        assert sorted(record.keys()) == ["a", "b"]
+
+
+class TestFeatureVector:
+    def test_scalar_and_one_hot(self):
+        fv = FeatureVector.scalar("age", 31)
+        assert fv.get("age") == 31.0
+        hot = FeatureVector.one_hot("color", "red")
+        assert hot.get("color=red") == 1.0
+
+    def test_from_dense_names_features(self):
+        fv = FeatureVector.from_dense([1.0, 2.0, 3.0], prefix="p")
+        assert fv.get("p_1") == 2.0
+        assert len(fv) == 3
+
+    def test_concat_disjoint(self):
+        merged = FeatureVector.scalar("a", 1).concat(FeatureVector.scalar("b", 2))
+        assert merged.get("a") == 1.0 and merged.get("b") == 2.0
+
+    def test_concat_conflict_raises(self):
+        with pytest.raises(ValueError):
+            FeatureVector.scalar("a", 1).concat(FeatureVector.scalar("a", 2))
+
+    def test_concat_same_value_ok(self):
+        merged = FeatureVector.scalar("a", 1).concat(FeatureVector.scalar("a", 1))
+        assert merged.get("a") == 1.0
+
+    def test_to_dense_respects_index(self):
+        fv = FeatureVector({"x": 1.0, "y": 2.0})
+        dense = fv.to_dense({"y": 0, "x": 1, "z": 2})
+        assert dense.tolist() == [2.0, 1.0, 0.0]
+
+    def test_equality(self):
+        assert FeatureVector({"a": 1.0}) == FeatureVector({"a": 1.0})
+        assert FeatureVector({"a": 1.0}) != FeatureVector({"a": 2.0})
+
+    def test_norm(self):
+        assert FeatureVector({"a": 3.0, "b": 4.0}).norm() == pytest.approx(5.0)
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=8), st.floats(-100, 100), max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_to_dense_round_trips_values(self, values):
+        fv = FeatureVector(values)
+        index = {name: i for i, name in enumerate(sorted(values))}
+        dense = fv.to_dense(index)
+        for name, position in index.items():
+            assert dense[position] == pytest.approx(values[name])
+
+    @given(
+        st.dictionaries(st.text(min_size=1, max_size=5), st.floats(-10, 10), max_size=5),
+        st.dictionaries(st.text(min_size=6, max_size=10), st.floats(-10, 10), max_size=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_concat_is_union_of_names(self, left, right):
+        merged = FeatureVector(left).concat(FeatureVector(right))
+        assert set(merged.names) == set(left) | set(right)
+
+
+class TestSemanticUnitAndExample:
+    def test_has_features(self):
+        su = SemanticUnit(input=1, source="s", output=FeatureVector.scalar("x", 1))
+        assert su.has_features
+        assert not SemanticUnit(input=1, source="s", output="raw").has_features
+
+    def test_example_with_prediction_copies(self):
+        example = Example(features=FeatureVector.scalar("x", 1), label=1.0, split=Split.TEST)
+        predicted = example.with_prediction(0.0, score=0.2)
+        assert predicted.prediction == 0.0
+        assert predicted.score == 0.2
+        assert predicted.split is Split.TEST
+        assert example.prediction is None
+
+
+class TestDataCollection:
+    def _examples(self):
+        return [
+            Example(features=FeatureVector.scalar("x", i), label=float(i % 2),
+                    split=Split.TRAIN if i < 3 else Split.TEST)
+            for i in range(5)
+        ]
+
+    def test_len_iter_getitem(self):
+        dc = DataCollection("d", [1, 2, 3])
+        assert len(dc) == 3
+        assert list(dc) == [1, 2, 3]
+        assert dc[1] == 2
+
+    def test_train_test_selectors(self):
+        dc = DataCollection("d", self._examples(), kind=ElementKind.EXAMPLE)
+        assert len(dc.train()) == 3
+        assert len(dc.test()) == 2
+
+    def test_untagged_elements_appear_in_both(self):
+        dc = DataCollection("d", [Example(features=FeatureVector.scalar("x", 1))])
+        assert len(dc.train()) == 1
+        assert len(dc.test()) == 1
+
+    def test_map_and_flat_map(self):
+        dc = DataCollection("d", [1, 2, 3])
+        assert list(dc.map(lambda x: x * 2)) == [2, 4, 6]
+        assert list(dc.flat_map(lambda x: [x] * x)) == [1, 2, 2, 3, 3, 3]
+
+    def test_filter(self):
+        dc = DataCollection("d", [1, 2, 3, 4])
+        assert list(dc.filter(lambda x: x % 2 == 0)) == [2, 4]
+
+    def test_feature_index_is_sorted_and_stable(self):
+        dc = DataCollection("d", self._examples(), kind=ElementKind.EXAMPLE)
+        index = dc.feature_index()
+        assert list(index.values()) == list(range(len(index)))
+        assert list(index.keys()) == sorted(index.keys())
+
+    def test_to_matrix_shapes_and_labels(self):
+        dc = DataCollection("d", self._examples(), kind=ElementKind.EXAMPLE)
+        X, y, index = dc.to_matrix()
+        assert X.shape == (5, len(index))
+        assert y.shape == (5,)
+        assert y[0] == 0.0 and y[1] == 1.0
+
+    def test_to_matrix_requires_examples(self):
+        dc = DataCollection("d", [1, 2, 3])
+        with pytest.raises(TypeError):
+            dc.to_matrix()
+
+    def test_to_matrix_empty(self):
+        X, y, index = DataCollection("d", []).to_matrix({})
+        assert X.shape == (0, 0)
+        assert y.shape == (0,)
+
+    def test_estimated_size_grows_with_elements(self):
+        small = DataCollection("d", self._examples()[:1])
+        large = DataCollection("d", self._examples())
+        assert large.estimated_size_bytes() > small.estimated_size_bytes()
+
+    def test_estimated_size_counts_numpy_fields(self):
+        records = [Record(fields={"pixels": np.zeros(1000)})]
+        dc = DataCollection("d", records)
+        assert dc.estimated_size_bytes() > 8000

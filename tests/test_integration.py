@@ -1,0 +1,130 @@
+"""Integration tests reproducing the qualitative claims of the evaluation section."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_comparison, run_lifecycle
+from repro.systems.deepdive import DeepDiveSystem
+from repro.systems.helix import HelixSystem
+from repro.systems.keystoneml import KeystoneMLSystem
+from repro.workloads import IterationType
+
+
+pytestmark = pytest.mark.integration
+
+
+class TestCensusClaims:
+    """Section 6.5.2 (Census): Helix dominates by reusing DPR and L/I results."""
+
+    def test_helix_beats_keystoneml_cumulatively(self):
+        results = run_comparison(
+            [HelixSystem.opt(seed=0), KeystoneMLSystem(seed=0)], "census", n_iterations=6, seed=7
+        )
+        helix = results["helix-opt"].total_time()
+        keystone = results["keystoneml"].total_time()
+        assert keystone > 2.0 * helix
+
+    def test_helix_beats_deepdive_cumulatively(self):
+        results = run_comparison(
+            [HelixSystem.opt(seed=0), DeepDiveSystem(seed=0)], "census", n_iterations=4, seed=7
+        )
+        assert results["deepdive"].total_time() > results["helix-opt"].total_time()
+
+    def test_ppr_iterations_are_near_free_for_helix(self):
+        result = run_lifecycle(HelixSystem.opt(seed=0), "census", n_iterations=8, seed=7)
+        first = result.iteration_times()[0]
+        ppr_times = [
+            stats.total_time
+            for stats, spec in zip(result.iterations, result.plan)
+            if spec.kind == IterationType.PPR and spec.index > 0
+        ]
+        assert ppr_times, "the sampled plan should contain PPR iterations"
+        assert max(ppr_times) < first / 3
+
+
+class TestMaterializationPolicyClaims:
+    """Section 6.6: OPT beats AM and NM; AM uses far more storage."""
+
+    def test_opt_cumulative_time_not_worse_than_am_and_nm(self):
+        times = {}
+        for system in (HelixSystem.opt(seed=0), HelixSystem.always_materialize(seed=0),
+                       HelixSystem.never_materialize(seed=0)):
+            result = run_lifecycle(system, "census", n_iterations=6, seed=7)
+            times[system.name] = result.total_time()
+        # On census OPT and AM make near-identical choices, so allow generous
+        # wall-clock noise against AM; NM forfeits all reuse and trails by a
+        # large factor, so a tight bound is safe there.
+        assert times["helix-opt"] <= times["helix-am"] * 1.35
+        assert times["helix-opt"] <= times["helix-nm"] * 1.15
+
+    def test_am_uses_more_storage_than_opt(self):
+        # MNIST is where the difference is stark: its DPR intermediates are
+        # large and cheap, so OPT skips them while AM persists them all.
+        opt = run_lifecycle(HelixSystem.opt(seed=0), "mnist", n_iterations=4, seed=7)
+        am = run_lifecycle(HelixSystem.always_materialize(seed=0), "mnist", n_iterations=4, seed=7)
+        assert am.storage_series()[-1] > opt.storage_series()[-1]
+        # On every workload AM can never use *less* storage than OPT.
+        opt_census = run_lifecycle(HelixSystem.opt(seed=0), "census", n_iterations=4, seed=7)
+        am_census = run_lifecycle(HelixSystem.always_materialize(seed=0), "census", n_iterations=4, seed=7)
+        assert am_census.storage_series()[-1] >= opt_census.storage_series()[-1]
+
+    def test_opt_reuses_as_much_as_am(self):
+        """Figure 8: OPT achieves the same prune/load fractions as AM."""
+        opt = run_lifecycle(HelixSystem.opt(seed=0), "census", n_iterations=5, seed=7)
+        am = run_lifecycle(HelixSystem.always_materialize(seed=0), "census", n_iterations=5, seed=7)
+        for opt_fractions, am_fractions in zip(opt.state_fraction_series()[1:],
+                                               am.state_fraction_series()[1:]):
+            assert opt_fractions["Sc"] <= am_fractions["Sc"] + 1e-9
+
+    def test_nm_storage_is_outputs_only(self):
+        nm = run_lifecycle(HelixSystem.never_materialize(seed=0), "census", n_iterations=3, seed=7)
+        opt = run_lifecycle(HelixSystem.opt(seed=0), "census", n_iterations=3, seed=7)
+        assert nm.storage_series()[-1] < opt.storage_series()[-1]
+
+
+class TestNLPClaims:
+    """Section 6.5.2 (NLP): the expensive parsing operator is reused by Helix."""
+
+    def test_helix_prunes_parsing_after_first_iteration(self):
+        result = run_lifecycle(HelixSystem.opt(seed=0), "nlp", n_iterations=4, seed=7)
+        for stats in result.iterations[1:]:
+            assert stats.node_states["sentences"].value in ("Sp", "Sl")
+
+    def test_helix_beats_deepdive_on_nlp(self):
+        results = run_comparison(
+            [HelixSystem.opt(seed=0), DeepDiveSystem(seed=0)], "nlp", n_iterations=4, seed=7
+        )
+        assert results["deepdive"].total_time() > 1.5 * results["helix-opt"].total_time()
+
+
+class TestMnistClaims:
+    """Section 6.5.2 (MNIST): little reuse available, Helix must not add big overhead."""
+
+    def test_helix_not_much_slower_than_keystoneml(self):
+        results = run_comparison(
+            [HelixSystem.opt(seed=0), KeystoneMLSystem(seed=0)], "mnist", n_iterations=5, seed=7
+        )
+        helix = results["helix-opt"].total_time()
+        keystone = results["keystoneml"].total_time()
+        assert helix < keystone * 1.5
+
+    def test_memory_stays_bounded(self):
+        result = run_lifecycle(HelixSystem.opt(seed=0), "mnist", n_iterations=4, seed=7)
+        peaks = [m["peak"] for m in result.memory_series()]
+        assert max(peaks) < 512 * 1024 * 1024  # well under the paper's 30 GB allocation
+
+
+class TestGenomicsClaims:
+    def test_helix_beats_keystoneml_on_genomics(self):
+        results = run_comparison(
+            [HelixSystem.opt(seed=0), KeystoneMLSystem(seed=0)], "genomics", n_iterations=6, seed=7
+        )
+        assert results["keystoneml"].total_time() > 1.5 * results["helix-opt"].total_time()
+
+    def test_storage_not_monotonic_is_allowed(self):
+        """Storage can decrease when changed operators' artifacts are purged."""
+        result = run_lifecycle(HelixSystem.opt(seed=0), "genomics", n_iterations=6, seed=7)
+        series = result.storage_series()
+        assert len(series) == 6
+        assert all(value >= 0 for value in series)

@@ -1,0 +1,133 @@
+"""Unit and property tests for the Edmonds–Karp max-flow / min-cut solver."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer.maxflow import INFINITY, FlowNetwork
+
+
+def _classic_network() -> FlowNetwork:
+    """The standard CLRS example network with max flow 23."""
+    network = FlowNetwork()
+    edges = [
+        ("s", "v1", 16), ("s", "v2", 13), ("v1", "v3", 12), ("v2", "v1", 4),
+        ("v2", "v4", 14), ("v3", "v2", 9), ("v3", "t", 20), ("v4", "v3", 7),
+        ("v4", "t", 4),
+    ]
+    for u, v, c in edges:
+        network.add_edge(u, v, c)
+    return network
+
+
+class TestMaxFlow:
+    def test_classic_example(self):
+        flow, _ = _classic_network().max_flow("s", "t")
+        assert flow == pytest.approx(23.0)
+
+    def test_min_cut_value_equals_max_flow(self):
+        network = _classic_network()
+        flow, _ = network.max_flow("s", "t")
+        cut, source_side, sink_side = network.min_cut("s", "t")
+        assert cut == pytest.approx(flow)
+        assert "s" in source_side and "t" in sink_side
+        assert source_side.isdisjoint(sink_side)
+        assert source_side | sink_side == network.nodes
+
+    def test_single_edge(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 5)
+        flow, _ = network.max_flow("s", "t")
+        assert flow == 5
+
+    def test_disconnected_graph_has_zero_flow(self):
+        network = FlowNetwork()
+        network.add_node("s")
+        network.add_node("t")
+        network.add_edge("s", "a", 10)
+        flow, _ = network.max_flow("s", "t")
+        assert flow == 0
+
+    def test_parallel_edges_accumulate(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 2)
+        network.add_edge("s", "t", 3)
+        flow, _ = network.max_flow("s", "t")
+        assert flow == 5
+
+    def test_infinite_path_rejected(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", INFINITY)
+        with pytest.raises(ValueError):
+            network.max_flow("s", "t")
+
+    def test_infinite_edge_off_path_is_fine(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 3)
+        network.add_edge("a", "t", 2)
+        network.add_edge("b", "a", INFINITY)  # not on any s-t path
+        flow, _ = network.max_flow("s", "t")
+        assert flow == 2
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNetwork().add_edge("a", "b", -1)
+
+    def test_self_loop_ignored(self):
+        network = FlowNetwork()
+        network.add_edge("s", "s", 10)
+        network.add_edge("s", "t", 1)
+        flow, _ = network.max_flow("s", "t")
+        assert flow == 1
+
+    def test_same_source_and_sink_rejected(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 1)
+        with pytest.raises(ValueError):
+            network.max_flow("s", "s")
+
+    def test_unknown_nodes_rejected(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 1)
+        with pytest.raises(ValueError):
+            network.max_flow("s", "zzz")
+
+
+@st.composite
+def random_networks(draw):
+    """Small random layered networks for comparison with networkx."""
+    n_mid = draw(st.integers(1, 5))
+    edges = []
+    for i in range(n_mid):
+        if draw(st.booleans()):
+            edges.append(("s", f"m{i}", draw(st.integers(1, 20))))
+        if draw(st.booleans()):
+            edges.append((f"m{i}", "t", draw(st.integers(1, 20))))
+        for j in range(i + 1, n_mid):
+            if draw(st.booleans()):
+                edges.append((f"m{i}", f"m{j}", draw(st.integers(1, 20))))
+    edges.append(("s", "m0", draw(st.integers(1, 20))))
+    edges.append((f"m{n_mid - 1}", "t", draw(st.integers(1, 20))))
+    return edges
+
+
+class TestAgainstNetworkx:
+    @given(random_networks())
+    @settings(max_examples=60, deadline=None)
+    def test_max_flow_matches_networkx(self, edges):
+        networkx = pytest.importorskip("networkx")
+        ours = FlowNetwork()
+        theirs = networkx.DiGraph()
+        for u, v, c in edges:
+            ours.add_edge(u, v, c)
+        # networkx sums parallel edges only if we accumulate explicitly.
+        for u, v, c in edges:
+            if theirs.has_edge(u, v):
+                theirs[u][v]["capacity"] += c
+            else:
+                theirs.add_edge(u, v, capacity=c)
+        ours_value, _ = ours.max_flow("s", "t")
+        theirs_value = networkx.maximum_flow_value(theirs, "s", "t")
+        assert ours_value == pytest.approx(theirs_value)

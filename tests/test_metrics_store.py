@@ -1,0 +1,108 @@
+"""Unit tests for operator metrics, the stats store and the cost estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimizer.metrics import CostEstimator, NodeMetrics, StatsStore
+
+from conftest import ConstOperator
+
+
+class TestNodeMetrics:
+    def test_first_observation_sets_values(self):
+        metrics = NodeMetrics()
+        metrics.merge_observation(compute_time=2.0, load_time=0.5, storage_bytes=100)
+        assert metrics.compute_time == 2.0
+        assert metrics.load_time == 0.5
+        assert metrics.storage_bytes == 100
+        assert metrics.observations == 1
+
+    def test_running_average(self):
+        metrics = NodeMetrics()
+        metrics.merge_observation(compute_time=2.0)
+        metrics.merge_observation(compute_time=4.0)
+        assert metrics.compute_time == pytest.approx(3.0)
+        assert metrics.observations == 2
+
+    def test_partial_observations(self):
+        metrics = NodeMetrics()
+        metrics.merge_observation(compute_time=2.0)
+        metrics.merge_observation(load_time=1.0)
+        assert metrics.compute_time == 2.0
+        assert metrics.load_time == 1.0
+
+
+class TestStatsStore:
+    def test_record_and_get(self):
+        store = StatsStore()
+        store.record("sig", compute_time=1.5, storage_bytes=10)
+        assert "sig" in store
+        assert store.get("sig").compute_time == 1.5
+
+    def test_forget(self):
+        store = StatsStore()
+        store.record("sig", compute_time=1.0)
+        store.forget("sig")
+        assert store.get("sig") is None
+
+    def test_persistence_round_trip(self, tmp_path):
+        path = tmp_path / "stats.json"
+        store = StatsStore(path=path)
+        store.record("sig", compute_time=2.0, load_time=0.1, storage_bytes=42)
+        store.save()
+        reloaded = StatsStore(path=path)
+        assert reloaded.get("sig").compute_time == 2.0
+        assert reloaded.get("sig").storage_bytes == 42
+
+    def test_len(self):
+        store = StatsStore()
+        store.record("a", compute_time=1.0)
+        store.record("b", compute_time=1.0)
+        assert len(store) == 2
+
+
+class TestCostEstimator:
+    def test_compute_time_prefers_recorded_stats(self):
+        stats = StatsStore()
+        stats.record("sig", compute_time=7.0)
+        estimator = CostEstimator(stats)
+        assert estimator.compute_time("sig", ConstOperator(cost=1.0)) == 7.0
+
+    def test_compute_time_falls_back_to_operator(self):
+        estimator = CostEstimator(StatsStore())
+        assert estimator.compute_time("unknown", ConstOperator(cost=3.0)) == 3.0
+
+    def test_compute_time_default_without_operator(self):
+        estimator = CostEstimator(StatsStore(), default_compute_time=0.5)
+        assert estimator.compute_time("unknown") == 0.5
+
+    def test_load_time_infinite_without_materialization(self):
+        estimator = CostEstimator(StatsStore())
+        assert estimator.load_time("sig", materialized=False) == float("inf")
+
+    def test_load_time_prefers_recorded(self):
+        stats = StatsStore()
+        stats.record("sig", load_time=0.25)
+        assert CostEstimator(stats).load_time("sig", materialized=True) == 0.25
+
+    def test_load_time_derived_from_size(self):
+        stats = StatsStore()
+        stats.record("sig", storage_bytes=170_000_000)
+        estimator = CostEstimator(stats, disk_bandwidth=170e6)
+        assert estimator.load_time("sig", materialized=True) == pytest.approx(1.0)
+
+    def test_bytes_to_seconds_has_floor(self):
+        estimator = CostEstimator(StatsStore(), disk_bandwidth=1e6)
+        assert estimator.bytes_to_seconds(0) > 0
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            CostEstimator(StatsStore(), disk_bandwidth=0)
+
+    def test_storage_bytes(self):
+        stats = StatsStore()
+        stats.record("sig", storage_bytes=123)
+        estimator = CostEstimator(stats)
+        assert estimator.storage_bytes("sig") == 123
+        assert estimator.storage_bytes("unknown") == 0

@@ -1,0 +1,244 @@
+"""Unit tests for preprocessing transforms, metrics, model selection and text utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy,
+    cluster_sizes,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    mean_squared_error,
+    precision,
+    recall,
+    silhouette_score,
+)
+from repro.ml.model_selection import GridSearch, KFold, cross_val_score, train_test_split
+from repro.ml.linear import LogisticRegression
+from repro.ml.preprocessing import (
+    HashingVectorizer,
+    MinMaxScaler,
+    OneHotIndexer,
+    QuantileDiscretizer,
+    RandomFourierFeatures,
+    StandardScaler,
+)
+from repro.ml.text import STOP_WORDS, ngrams, pos_tag, remove_stop_words, split_sentences, tokenize
+
+
+class TestScalers:
+    def test_standard_scaler_zero_mean_unit_variance(self):
+        X = np.random.default_rng(0).normal(loc=5, scale=3, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1, atol=1e-9)
+
+    def test_standard_scaler_constant_column_safe(self):
+        X = np.ones((10, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+
+    def test_standard_scaler_unfitted_raises(self):
+        with pytest.raises(ValueError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_minmax_scaler_range(self):
+        X = np.random.default_rng(1).normal(size=(50, 3)) * 10
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+
+    def test_minmax_constant_column_safe(self):
+        Z = MinMaxScaler().fit_transform(np.full((5, 1), 7.0))
+        assert np.isfinite(Z).all()
+
+
+class TestDiscretizerAndEncoders:
+    def test_quantile_discretizer_balanced_buckets(self):
+        values = np.arange(1000, dtype=float)
+        buckets = QuantileDiscretizer(bins=4).fit_transform(values)
+        counts = np.bincount(buckets)
+        assert len(counts) == 4
+        assert counts.max() - counts.min() <= 2
+
+    def test_quantile_discretizer_empty(self):
+        discretizer = QuantileDiscretizer(bins=3).fit(np.array([]))
+        assert discretizer.transform(np.array([1.0])).tolist() == [0]
+
+    def test_quantile_discretizer_invalid_bins(self):
+        with pytest.raises(ValueError):
+            QuantileDiscretizer(bins=0)
+
+    def test_one_hot_indexer(self):
+        indexer = OneHotIndexer().fit(["red", "blue", "red"])
+        assert indexer.dimension == 2
+        transformed = indexer.transform(["red", "blue", "green"])
+        assert transformed.shape == (3, 2)
+        assert transformed[2].sum() == 0  # unknown ignored
+
+    def test_one_hot_indexer_error_mode(self):
+        indexer = OneHotIndexer(handle_unknown="error").fit(["a"])
+        with pytest.raises(ValueError):
+            indexer.transform(["b"])
+
+    def test_hashing_vectorizer_deterministic(self):
+        vectorizer = HashingVectorizer(n_features=16, seed=1)
+        a = vectorizer.transform([["x", "y", "x"]])
+        b = vectorizer.transform([["x", "y", "x"]])
+        assert np.array_equal(a, b)
+        assert a.sum() == 3
+
+    def test_hashing_vectorizer_invalid(self):
+        with pytest.raises(ValueError):
+            HashingVectorizer(n_features=0)
+
+    def test_random_fourier_features_shape_and_seed(self):
+        X = np.random.default_rng(0).normal(size=(20, 5))
+        a = RandomFourierFeatures(n_components=8, seed=1).fit_transform(X)
+        b = RandomFourierFeatures(n_components=8, seed=1).fit_transform(X)
+        c = RandomFourierFeatures(n_components=8, seed=2).fit_transform(X)
+        assert a.shape == (20, 8)
+        assert np.allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_random_fourier_unfitted_raises(self):
+        with pytest.raises(ValueError):
+            RandomFourierFeatures().transform(np.zeros((1, 2)))
+
+
+class TestMetrics:
+    def test_accuracy_and_confusion(self):
+        y_true = [1, 0, 1, 1]
+        y_pred = [1, 0, 0, 1]
+        assert accuracy(y_true, y_pred) == 0.75
+        cm = confusion_matrix(y_true, y_pred)
+        assert cm == {"tp": 2, "fp": 0, "tn": 1, "fn": 1}
+
+    def test_precision_recall_f1(self):
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 0, 1, 0]
+        assert precision(y_true, y_pred) == 0.5
+        assert recall(y_true, y_pred) == 0.5
+        assert f1_score(y_true, y_pred) == 0.5
+
+    def test_degenerate_precision_recall(self):
+        assert precision([0, 0], [0, 0]) == 0.0
+        assert recall([0, 0], [0, 0]) == 0.0
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_empty_inputs(self):
+        assert accuracy([], []) == 0.0
+        assert mean_squared_error([], []) == 0.0
+        assert log_loss([], []) == 0.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 0])
+
+    def test_log_loss_penalizes_confident_mistakes(self):
+        confident_wrong = log_loss([1, 1], [0.01, 0.01])
+        confident_right = log_loss([1, 1], [0.99, 0.99])
+        assert confident_wrong > confident_right
+
+    def test_mean_squared_error(self):
+        assert mean_squared_error([1, 2], [1, 4]) == pytest.approx(2.0)
+
+    def test_cluster_sizes(self):
+        assert cluster_sizes([0, 0, 1, 2, 2, 2]) == {0: 2, 1: 1, 2: 3}
+
+    def test_silhouette_separated_better_than_random(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 0.2, size=(20, 2)), rng.normal(5, 0.2, size=(20, 2))])
+        good = [0] * 20 + [1] * 20
+        bad = list(rng.integers(0, 2, size=40))
+        assert silhouette_score(X, good) > silhouette_score(X, bad)
+
+    def test_silhouette_degenerate(self):
+        assert silhouette_score(np.zeros((3, 2)), [0, 0, 0]) == 0.0
+        assert silhouette_score(np.zeros((1, 2)), [0]) == 0.0
+
+
+class TestModelSelection:
+    def _data(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(80, 2))
+        y = (X[:, 0] > 0).astype(float)
+        return X, y
+
+    def test_train_test_split_sizes(self):
+        X, y = self._data()
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_fraction=0.25, seed=1)
+        assert len(X_test) == 20 and len(X_train) == 60
+        assert len(y_test) == 20
+
+    def test_train_test_split_without_labels(self):
+        X, _ = self._data()
+        X_train, X_test, y_train, y_test = train_test_split(X, test_fraction=0.5)
+        assert y_train is None and y_test is None
+
+    def test_train_test_split_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), test_fraction=1.5)
+
+    def test_kfold_covers_all_indices(self):
+        folds = list(KFold(n_splits=4, seed=0).split(20))
+        assert len(folds) == 4
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(20))
+
+    def test_kfold_validation(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_cross_val_score_reasonable(self):
+        X, y = self._data()
+        scores = cross_val_score(LogisticRegression, X, y, n_splits=4)
+        assert len(scores) == 4
+        assert np.mean(scores) > 0.8
+
+    def test_grid_search_picks_better_regularization(self):
+        X, y = self._data()
+        search = GridSearch(LogisticRegression, {"reg_param": [0.01, 100.0]}, n_splits=3)
+        result = search.fit(X, y)
+        assert result.best_params["reg_param"] == 0.01
+        assert len(result.results) == 2
+        assert result.best_score >= max(score for _p, score in result.results) - 1e-12
+
+    def test_grid_search_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GridSearch(LogisticRegression, {})
+
+
+class TestText:
+    def test_tokenize_lowercases_and_splits(self):
+        assert tokenize("Alice married Bob.") == ["alice", "married", "bob"]
+        assert tokenize("Alice married Bob.", lowercase=False)[0] == "Alice"
+
+    def test_split_sentences(self):
+        sentences = split_sentences("First one. Second one! Third?")
+        assert len(sentences) == 3
+
+    def test_ngrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    def test_remove_stop_words(self):
+        assert remove_stop_words(["the", "gene", "and", "protein"]) == ["gene", "protein"]
+        assert "the" in STOP_WORDS
+
+    def test_pos_tag_rules(self):
+        tags = dict(pos_tag(["The", "Alice", "married", "quickly", "42", "of", "and", "it", "dog"]))
+        assert tags["The"] == "DT"
+        assert tags["Alice"] == "NNP"
+        assert tags["married"] == "VB"
+        assert tags["quickly"] == "RB"
+        assert tags["42"] == "CD"
+        assert tags["of"] == "IN"
+        assert tags["and"] == "CC"
+        assert tags["it"] == "PRP"
+        assert tags["dog"] == "NN"

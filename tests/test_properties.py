@@ -1,0 +1,143 @@
+"""Cross-cutting property-based tests on core invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dag import Node, WorkflowDAG
+from repro.core.signatures import compute_node_signatures, diff_signatures
+from repro.optimizer.oep import NodeState, plan_run_time, solve_oep
+from repro.optimizer.omp import cumulative_run_time
+from repro.optimizer.pruning import eviction_schedule, out_of_scope_after
+from repro.storage.serialization import deserialize, serialize
+
+from conftest import ConstOperator, SumOperator
+
+
+@st.composite
+def random_dags(draw):
+    """Random DAGs with 2-8 nodes, returning (parents list, per-node tags)."""
+    n = draw(st.integers(2, 8))
+    parents = []
+    for i in range(n):
+        parents.append([j for j in range(i) if draw(st.booleans())])
+    tags = [draw(st.integers(0, 3)) for _ in range(n)]
+    return parents, tags
+
+
+def _build(parents, tags):
+    nodes = []
+    for i, deps in enumerate(parents):
+        operator = SumOperator(offset=float(tags[i])) if deps else ConstOperator(tags[i], tag=str(tags[i]))
+        nodes.append(
+            Node.create(f"n{i}", operator, parents=[f"n{j}" for j in deps], is_output=(i == len(parents) - 1))
+        )
+    return WorkflowDAG(nodes)
+
+
+class TestDAGProperties:
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_topological_order_respects_all_edges(self, spec):
+        dag = _build(*spec)
+        order = {name: i for i, name in enumerate(dag.topological_order())}
+        for parent, child in dag.edges:
+            assert order[parent] < order[child]
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_ancestors_descendants_are_inverse(self, spec):
+        dag = _build(*spec)
+        for name in dag.node_names:
+            for ancestor in dag.ancestors(name):
+                assert name in dag.descendants(ancestor)
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_slicing_keeps_output_cone_closed(self, spec):
+        dag = _build(*spec)
+        sliced = dag.sliced_to_outputs()
+        for name in sliced.node_names:
+            for parent in sliced.parents(name):
+                assert parent in sliced
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_eviction_schedule_is_a_partition(self, spec):
+        dag = _build(*spec)
+        order = list(dag.topological_order())
+        schedule = eviction_schedule(dag, order)
+        evicted = sorted(name for names in schedule.values() for name in names)
+        assert evicted == sorted(order)
+        # No node is evicted before its own execution.
+        positions = {name: i for i, name in enumerate(order)}
+        for name, after in out_of_scope_after(dag, order).items():
+            assert after >= positions[name]
+
+
+class TestSignatureProperties:
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_signatures_are_deterministic_and_unique_per_structure(self, spec):
+        dag1 = _build(*spec)
+        dag2 = _build(*spec)
+        assert compute_node_signatures(dag1) == compute_node_signatures(dag2)
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_self_diff_has_no_original_nodes(self, spec):
+        dag = _build(*spec)
+        signatures = compute_node_signatures(dag)
+        diff = diff_signatures(signatures, signatures)
+        assert diff.original == frozenset()
+        assert diff.reusable == frozenset(signatures)
+
+
+class TestPlanProperties:
+    @given(
+        random_dags(),
+        st.lists(st.floats(0.1, 5.0), min_size=8, max_size=8),
+        st.lists(st.floats(0.05, 5.0), min_size=8, max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_optimal_plan_never_beats_or_loses_to_infeasible_bounds(self, spec, computes, loads):
+        parents, tags = spec
+        dag = _build(parents, tags)
+        compute = {f"n{i}": computes[i] for i in range(len(parents))}
+        load = {f"n{i}": loads[i] for i in range(len(parents))}
+        forced = [dag.node_names[-1]]
+        plan = solve_oep(dag, compute, load, forced_compute=forced)
+        # Lower bound: the forced node's own compute time.  Upper bound: computing everything.
+        assert plan.estimated_time >= compute[forced[0]] - 1e-9
+        assert plan.estimated_time <= sum(compute.values()) + 1e-9
+        assert plan.estimated_time == pytest.approx(plan_run_time(plan.states, compute, load))
+
+    @given(random_dags(), st.floats(0.1, 5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_cumulative_runtime_monotone_in_ancestry(self, spec, unit_cost):
+        dag = _build(*spec)
+        times = {name: unit_cost for name in dag.node_names}
+        for name in dag.node_names:
+            own = cumulative_run_time(name, dag, times)
+            for child in dag.children(name):
+                assert cumulative_run_time(child, dag, times) >= own - 1e-9
+
+
+class TestSerializationProperties:
+    @given(
+        st.recursive(
+            st.one_of(st.integers(-1000, 1000), st.floats(allow_nan=False, allow_infinity=False),
+                      st.text(max_size=20), st.booleans(), st.none()),
+            lambda children: st.one_of(
+                st.lists(children, max_size=5),
+                st.dictionaries(st.text(max_size=5), children, max_size=5),
+            ),
+            max_leaves=20,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_serialize_round_trip(self, value):
+        assert deserialize(serialize(value)) == value

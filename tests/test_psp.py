@@ -1,0 +1,137 @@
+"""Unit and property tests for the Project Selection Problem solver."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer.psp import Project, ProjectSelectionProblem
+
+
+class TestBasics:
+    def test_positive_profits_all_selected(self):
+        psp = ProjectSelectionProblem()
+        psp.add_project("a", 5)
+        psp.add_project("b", 3)
+        solution = psp.solve()
+        assert solution.selected == frozenset({"a", "b"})
+        assert solution.total_profit == 8
+
+    def test_negative_profits_none_selected(self):
+        psp = ProjectSelectionProblem()
+        psp.add_project("a", -5)
+        psp.add_project("b", -3)
+        solution = psp.solve()
+        assert solution.selected == frozenset()
+        assert solution.total_profit == 0
+
+    def test_prerequisite_worth_paying_for(self):
+        psp = ProjectSelectionProblem()
+        psp.add_project("profit", 10, prerequisites=["cost"])
+        psp.add_project("cost", -4)
+        solution = psp.solve()
+        assert solution.selected == frozenset({"profit", "cost"})
+        assert solution.total_profit == 6
+
+    def test_prerequisite_not_worth_paying_for(self):
+        psp = ProjectSelectionProblem()
+        psp.add_project("profit", 3, prerequisites=["cost"])
+        psp.add_project("cost", -10)
+        solution = psp.solve()
+        assert solution.selected == frozenset()
+
+    def test_chain_of_prerequisites(self):
+        psp = ProjectSelectionProblem()
+        psp.add_project("top", 12, prerequisites=["mid"])
+        psp.add_project("mid", -3, prerequisites=["bottom"])
+        psp.add_project("bottom", -4)
+        solution = psp.solve()
+        assert solution.selected == frozenset({"top", "mid", "bottom"})
+        assert solution.total_profit == 5
+
+    def test_shared_prerequisite_amortized(self):
+        # Individually unprofitable, jointly profitable through a shared prerequisite.
+        psp = ProjectSelectionProblem()
+        psp.add_project("p1", 4, prerequisites=["shared"])
+        psp.add_project("p2", 4, prerequisites=["shared"])
+        psp.add_project("shared", -6)
+        solution = psp.solve()
+        assert solution.selected == frozenset({"p1", "p2", "shared"})
+        assert solution.total_profit == 2
+
+    def test_unknown_prerequisite_becomes_free_project(self):
+        psp = ProjectSelectionProblem()
+        psp.add_project("a", 5, prerequisites=["ghost"])
+        solution = psp.solve()
+        assert "a" in solution.selected
+        assert "ghost" in solution.selected
+
+    def test_add_prerequisite_after_the_fact(self):
+        psp = ProjectSelectionProblem()
+        psp.add_project("a", 5)
+        psp.add_project("b", -10)
+        psp.add_prerequisite("a", "b")
+        assert psp.solve().selected == frozenset()
+
+    def test_add_prerequisite_unknown_project(self):
+        psp = ProjectSelectionProblem()
+        with pytest.raises(KeyError):
+            psp.add_prerequisite("ghost", "a")
+
+    def test_contains_on_solution(self):
+        psp = ProjectSelectionProblem()
+        psp.add_project("a", 1)
+        solution = psp.solve()
+        assert "a" in solution
+        assert "b" not in solution
+
+    def test_zero_profit_membership_does_not_affect_value(self):
+        psp = ProjectSelectionProblem()
+        psp.add_project("a", 0)
+        psp.add_project("b", 7, prerequisites=["a"])
+        solution = psp.solve()
+        assert solution.total_profit == 7
+
+
+@st.composite
+def random_psp_instances(draw):
+    n = draw(st.integers(2, 7))
+    profits = [draw(st.integers(-10, 10)) for _ in range(n)]
+    prerequisites = []
+    for i in range(n):
+        deps = [j for j in range(i) if draw(st.booleans())]
+        prerequisites.append(deps)
+    return profits, prerequisites
+
+
+class TestAgainstBruteForce:
+    @given(random_psp_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_min_cut_matches_brute_force_profit(self, instance):
+        profits, prerequisites = instance
+        psp = ProjectSelectionProblem()
+        for i, profit in enumerate(profits):
+            psp.add_project(i, profit, prerequisites=prerequisites[i])
+        exact = psp.solve_brute_force()
+        solved = psp.solve()
+        assert solved.total_profit == pytest.approx(exact.total_profit)
+
+    @given(random_psp_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_solution_is_prerequisite_closed(self, instance):
+        profits, prerequisites = instance
+        psp = ProjectSelectionProblem()
+        for i, profit in enumerate(profits):
+            psp.add_project(i, profit, prerequisites=prerequisites[i])
+        solution = psp.solve()
+        for project in solution.selected:
+            for prerequisite in prerequisites[project]:
+                assert prerequisite in solution.selected
+
+    def test_brute_force_limits_size(self):
+        psp = ProjectSelectionProblem()
+        for i in range(21):
+            psp.add_project(i, 1)
+        with pytest.raises(ValueError):
+            psp.solve_brute_force()

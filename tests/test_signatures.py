@@ -1,0 +1,141 @@
+"""Unit tests for cross-iteration change tracking (node signatures / equivalence)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dag import Node, WorkflowDAG
+from repro.core.signatures import ChangeTracker, compute_node_signatures, diff_signatures
+
+from conftest import ConstOperator, SumOperator, make_diamond_dag
+
+
+def _dag(offset_b: float = 1.0, value_a: int = 2) -> WorkflowDAG:
+    a = Node.create("a", ConstOperator(value_a, tag="a"))
+    b = Node.create("b", SumOperator(offset=offset_b), parents=["a"])
+    c = Node.create("c", SumOperator(offset=5.0), parents=["b"], is_output=True)
+    return WorkflowDAG([a, b, c])
+
+
+class TestNodeSignatures:
+    def test_identical_dags_have_identical_signatures(self):
+        assert compute_node_signatures(_dag()) == compute_node_signatures(_dag())
+
+    def test_changing_an_operator_changes_its_signature_and_descendants(self):
+        base = compute_node_signatures(_dag(offset_b=1.0))
+        changed = compute_node_signatures(_dag(offset_b=2.0))
+        assert base["a"] == changed["a"]
+        assert base["b"] != changed["b"]
+        assert base["c"] != changed["c"]
+
+    def test_changing_a_root_changes_everything_downstream(self):
+        base = compute_node_signatures(_dag(value_a=2))
+        changed = compute_node_signatures(_dag(value_a=3))
+        assert base["a"] != changed["a"]
+        assert base["b"] != changed["b"]
+        assert base["c"] != changed["c"]
+
+    def test_rename_preserves_signature_value(self):
+        # The same operator chain under different node names yields the same
+        # signatures, so materializations survive renames.
+        a1 = Node.create("x", ConstOperator(2, tag="a"))
+        b1 = Node.create("y", SumOperator(offset=1.0), parents=["x"])
+        renamed = WorkflowDAG([a1, b1])
+        original = WorkflowDAG(
+            [Node.create("a", ConstOperator(2, tag="a")), Node.create("b", SumOperator(offset=1.0), parents=["a"])]
+        )
+        assert set(compute_node_signatures(renamed).values()) == set(
+            compute_node_signatures(original).values()
+        )
+
+    def test_parent_order_does_not_matter(self):
+        d1 = WorkflowDAG(
+            [
+                Node.create("a", ConstOperator(1, tag="a")),
+                Node.create("b", ConstOperator(2, tag="b")),
+                Node.create("c", SumOperator(), parents=["a", "b"]),
+            ]
+        )
+        d2 = WorkflowDAG(
+            [
+                Node.create("a", ConstOperator(1, tag="a")),
+                Node.create("b", ConstOperator(2, tag="b")),
+                Node.create("c", SumOperator(), parents=["b", "a"]),
+            ]
+        )
+        assert compute_node_signatures(d1)["c"] == compute_node_signatures(d2)["c"]
+
+
+class TestDiff:
+    def test_everything_original_on_first_iteration(self):
+        signatures = compute_node_signatures(_dag())
+        diff = diff_signatures(signatures, previous={})
+        assert diff.original == frozenset(signatures)
+        assert not diff.reusable
+
+    def test_only_changed_subtree_is_original(self):
+        previous = compute_node_signatures(_dag(offset_b=1.0))
+        current = compute_node_signatures(_dag(offset_b=2.0))
+        diff = diff_signatures(current, previous)
+        assert diff.original == frozenset({"b", "c"})
+        assert diff.reusable == frozenset({"a"})
+        assert diff.num_changed == 2
+
+    def test_added_and_removed_names(self):
+        previous = {"a": "1", "gone": "2"}
+        current = {"a": "1", "new": "3"}
+        diff = diff_signatures(current, previous)
+        assert diff.added == frozenset({"new"})
+        assert diff.removed == frozenset({"gone"})
+
+    def test_known_signatures_extend_reuse(self):
+        current = {"a": "sig-a"}
+        diff = diff_signatures(current, previous={}, known_signatures={"sig-a"})
+        assert diff.reusable == frozenset({"a"})
+
+
+class TestChangeTracker:
+    def test_lifecycle(self):
+        tracker = ChangeTracker()
+        dag1 = _dag(offset_b=1.0)
+        assert tracker.classify(dag1).original == frozenset({"a", "b", "c"})
+        tracker.commit(dag1)
+        assert tracker.iteration == 1
+
+        dag2 = _dag(offset_b=2.0)
+        diff = tracker.classify(dag2)
+        assert diff.original == frozenset({"b", "c"})
+        tracker.commit(dag2)
+
+        # Reverting to the original offset is recognized: the signatures were
+        # seen at iteration 0, so nothing is original.
+        dag3 = _dag(offset_b=1.0)
+        assert tracker.classify(dag3).original == frozenset()
+
+    def test_commit_with_precomputed_signatures(self):
+        tracker = ChangeTracker()
+        dag = _dag()
+        signatures = compute_node_signatures(dag)
+        committed = tracker.commit(dag, signatures)
+        assert committed == signatures
+        assert tracker.has_seen(signatures["a"])
+
+    def test_reset(self):
+        tracker = ChangeTracker()
+        tracker.commit(_dag())
+        tracker.reset()
+        assert tracker.iteration == 0
+        assert tracker.previous_signatures == {}
+        assert tracker.classify(_dag()).original == frozenset({"a", "b", "c"})
+
+    def test_diamond_change_only_affects_descendants(self):
+        tracker = ChangeTracker()
+        tracker.commit(make_diamond_dag())
+        modified = make_diamond_dag()
+        # Rebuild with a changed 'b' offset only.
+        nodes = [modified.node("a"), Node.create("b", SumOperator(offset=9.0, cost=2.0), parents=["a"]),
+                 modified.node("c"), modified.node("d")]
+        changed = WorkflowDAG(nodes)
+        diff = tracker.classify(changed)
+        assert diff.original == frozenset({"b", "d"})
+        assert diff.reusable == frozenset({"a", "c"})

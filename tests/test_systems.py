@@ -1,0 +1,172 @@
+"""Tests for the systems layer: Helix variants, KeystoneML and DeepDive comparators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optimizer.oep import NodeState
+from repro.systems.deepdive import DeepDiveSystem
+from repro.systems.helix import HelixSystem
+from repro.systems.keystoneml import KeystoneMLSystem
+from repro.workloads import IterationSpec, IterationType, get_workload
+from repro.workloads.census import CensusConfig
+
+
+WORKLOAD = get_workload("census")
+SMALL = CensusConfig(n_train=200, n_test=80)
+
+
+def _modified(config, kind, seed=0):
+    return WORKLOAD.apply_iteration(config, IterationSpec(index=1, kind=kind), np.random.default_rng(seed))
+
+
+class TestHelixSystem:
+    def test_first_iteration_computes_everything(self):
+        system = HelixSystem.opt(seed=0)
+        stats = system.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        assert stats.nodes_in_state(NodeState.LOAD) == []
+        assert stats.nodes_in_state(NodeState.PRUNE) == []
+        assert stats.storage_bytes > 0  # something was materialized
+
+    def test_identical_rerun_prunes_everything(self):
+        system = HelixSystem.opt(seed=0)
+        system.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        stats = system.run_iteration(WORKLOAD.build(SMALL), iteration=1)
+        fractions = stats.state_fractions()
+        assert fractions["Sp"] == 1.0
+        assert stats.total_time < 0.05
+
+    def test_ppr_iteration_reuses_predictions(self):
+        system = HelixSystem.opt(seed=0)
+        first = system.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        changed = _modified(SMALL, IterationType.PPR)
+        second = system.run_iteration(WORKLOAD.build(changed), iteration=1)
+        assert "checked" in second.nodes_in_state(NodeState.COMPUTE)
+        assert "rows" not in second.nodes_in_state(NodeState.COMPUTE)
+        assert second.total_time < first.total_time / 3
+
+    def test_reused_results_match_recomputation(self):
+        """Correctness (Theorem 1): reuse must not change the output values."""
+        reuse_system = HelixSystem.opt(seed=0)
+        reuse_system.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        changed = _modified(SMALL, IterationType.PPR)
+        with_reuse = reuse_system.run_iteration(WORKLOAD.build(changed), iteration=1)
+
+        fresh_system = HelixSystem.opt(seed=0)
+        from_scratch = fresh_system.run_iteration(WORKLOAD.build(changed), iteration=0)
+        assert with_reuse.outputs["checked"] == from_scratch.outputs["checked"]
+
+    def test_dpr_change_recomputes_downstream(self):
+        system = HelixSystem.opt(seed=0)
+        system.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        changed = _modified(SMALL, IterationType.DPR, seed=3)
+        stats = system.run_iteration(WORKLOAD.build(changed), iteration=1)
+        assert "predictions" in stats.nodes_in_state(NodeState.COMPUTE)
+
+    def test_li_change_does_not_recompute_parsing(self):
+        system = HelixSystem.opt(seed=0)
+        system.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        changed = _modified(SMALL, IterationType.LI)
+        stats = system.run_iteration(WORKLOAD.build(changed), iteration=1)
+        assert "rows" not in stats.nodes_in_state(NodeState.COMPUTE)
+        assert "predictions" in stats.nodes_in_state(NodeState.COMPUTE)
+
+    def test_reverting_a_change_can_reuse_old_artifacts(self):
+        system = HelixSystem.opt(seed=0)
+        system.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        changed = _modified(SMALL, IterationType.LI)
+        system.run_iteration(WORKLOAD.build(changed), iteration=1)
+        reverted = system.run_iteration(WORKLOAD.build(SMALL), iteration=2)
+        assert reverted.state_fractions()["Sc"] <= 0.2
+
+    def test_reset_clears_state(self):
+        system = HelixSystem.opt(seed=0)
+        system.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        system.reset()
+        assert system.storage_bytes() == 0
+        stats = system.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        assert stats.state_fractions()["Sc"] == 1.0
+
+    def test_variant_names(self):
+        assert HelixSystem.opt().name == "helix-opt"
+        assert HelixSystem.always_materialize().name == "helix-am"
+        assert HelixSystem.never_materialize().name == "helix-nm"
+
+    def test_am_materializes_more_and_uses_more_storage_than_opt(self):
+        opt = HelixSystem.opt(seed=0)
+        am = HelixSystem.always_materialize(seed=0)
+        opt_stats = opt.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        am_stats = am.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        assert len(am_stats.materialized_nodes) >= len(opt_stats.materialized_nodes)
+        assert am.storage_bytes() >= opt.storage_bytes()
+
+    def test_nm_materializes_only_outputs(self):
+        nm = HelixSystem.never_materialize(seed=0)
+        stats = nm.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        assert stats.materialized_nodes == ["checked"]
+
+    def test_nm_cannot_reuse_intermediates(self):
+        nm = HelixSystem.never_materialize(seed=0)
+        nm.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        changed = _modified(SMALL, IterationType.PPR)
+        stats = nm.run_iteration(WORKLOAD.build(changed), iteration=1)
+        # Only the final output was on disk, and it changed, so almost
+        # everything is recomputed.
+        assert stats.state_fractions()["Sc"] > 0.5
+
+    def test_iteration_type_recorded(self):
+        system = HelixSystem.opt(seed=0)
+        stats = system.run_iteration(WORKLOAD.build(SMALL), iteration=0, iteration_type="DPR")
+        assert stats.iteration_type == "DPR"
+
+
+class TestKeystoneML:
+    def test_recomputes_everything_every_iteration(self):
+        system = KeystoneMLSystem(seed=0)
+        first = system.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        second = system.run_iteration(WORKLOAD.build(SMALL), iteration=1)
+        assert first.state_fractions()["Sc"] == 1.0
+        assert second.state_fractions()["Sc"] == 1.0
+        assert system.storage_bytes() == 0
+
+    def test_does_not_support_nlp(self):
+        assert not KeystoneMLSystem().supports("nlp")
+        assert KeystoneMLSystem().supports("census")
+
+    def test_li_overhead_factor(self):
+        plain = KeystoneMLSystem(seed=0)
+        slowed = KeystoneMLSystem(seed=0, li_overhead_factor=5.0)
+        plain_stats = plain.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        slowed_stats = slowed.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        assert slowed_stats.component_breakdown()["L/I"] > plain_stats.component_breakdown()["L/I"]
+
+
+class TestDeepDive:
+    def test_supports_only_census_and_nlp(self):
+        system = DeepDiveSystem()
+        assert system.supports("census") and system.supports("nlp")
+        assert not system.supports("genomics") and not system.supports("mnist")
+
+    def test_materializes_everything_each_iteration(self):
+        system = DeepDiveSystem(seed=0)
+        stats = system.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        assert stats.state_fractions()["Sc"] == 1.0
+        assert len(stats.materialized_nodes) == len(stats.node_states)
+        assert stats.materialization_time > 0
+
+    def test_storage_accumulates_across_iterations(self):
+        system = DeepDiveSystem(seed=0)
+        system.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        first = system.storage_bytes()
+        system.run_iteration(WORKLOAD.build(SMALL), iteration=1)
+        assert system.storage_bytes() > first
+        system.reset()
+        assert system.storage_bytes() == 0
+
+    def test_dpr_slowdown_increases_dpr_time(self):
+        fast = DeepDiveSystem(seed=0, dpr_slowdown=1.0)
+        slow = DeepDiveSystem(seed=0, dpr_slowdown=4.0)
+        fast_stats = fast.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        slow_stats = slow.run_iteration(WORKLOAD.build(SMALL), iteration=0)
+        assert slow_stats.component_breakdown()["DPR"] > fast_stats.component_breakdown()["DPR"]
