@@ -1,8 +1,17 @@
-"""Execution engine, caches, cost models and run statistics."""
+"""Execution engines (serial and parallel), caches, cost models and run statistics."""
 
 from .cache import CacheEntry, EagerCache, LRUCache, OperatorCache
 from .clock import ClusterModel, CostModel, MeasuredCostModel, SimulatedCostModel
 from .engine import ExecutionEngine
+from .equivalence import (
+    assert_equivalent_runs,
+    canonical_run,
+    compare_runs,
+    run_signature,
+    stats_store_snapshot,
+    store_snapshot,
+)
+from .parallel import ENGINE_NAMES, ParallelExecutionEngine, create_engine, default_max_workers
 from .tracker import MemoryTracker, RunStats
 
 __all__ = [
@@ -15,6 +24,16 @@ __all__ = [
     "MeasuredCostModel",
     "SimulatedCostModel",
     "ExecutionEngine",
+    "ParallelExecutionEngine",
+    "ENGINE_NAMES",
+    "create_engine",
+    "default_max_workers",
     "MemoryTracker",
     "RunStats",
+    "assert_equivalent_runs",
+    "canonical_run",
+    "compare_runs",
+    "run_signature",
+    "stats_store_snapshot",
+    "store_snapshot",
 ]

@@ -6,7 +6,9 @@ computes it from its (cached) parent values.  While executing it
 
 * charges per-node times according to the configured :class:`CostModel`,
 * evicts nodes from the in-memory cache as soon as they go out of scope
-  (Section 5.4, cache pruning),
+  (Section 5.4, cache pruning) — scope is tracked with per-entry reference
+  counts (one per still-outstanding consumer) rather than positions in the
+  serial walk, so the same retirement machinery serves the parallel engine,
 * at the eviction point asks the :class:`MaterializationPolicy` whether the
   node should be persisted (the streaming OPT-MAT-PLAN decision), always
   persisting mandatory outputs,
@@ -14,12 +16,16 @@ computes it from its (cached) parent values.  While executing it
   :class:`StatsStore` so the next iteration's optimizer has accurate
   estimates, and
 * tracks memory usage for the Figure 10 experiment.
+
+:class:`ExecutionEngine` executes the plan serially; its subclass
+:class:`~repro.execution.parallel.ParallelExecutionEngine` dispatches ready
+nodes onto a thread pool while producing the same run statistics.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.dag import WorkflowDAG
 from ..core.operators import RunContext
@@ -27,7 +33,6 @@ from ..exceptions import BudgetExceededError, ExecutionError, OperatorError
 from ..optimizer.metrics import StatsStore
 from ..optimizer.oep import ExecutionPlan, NodeState
 from ..optimizer.omp import MaterializationPolicy, NeverMaterialize
-from ..optimizer.pruning import eviction_schedule
 from ..storage.serialization import estimate_size_bytes
 from ..storage.store import MaterializationStore
 from .cache import EagerCache, OperatorCache
@@ -70,26 +75,18 @@ class ExecutionEngine:
         self._validate(dag, plan, signatures)
         self.cache.clear()
         memory = MemoryTracker()
-        stats = RunStats(iteration=iteration, workflow_name=dag.name)
-        stats.node_states = dict(plan.states)
-        stats.original_nodes = sorted(plan.forced)
+        stats = self._new_run_stats(dag, plan, iteration)
 
-        order = [
-            name
-            for name in dag.topological_order()
-            if plan.states[name] is not NodeState.PRUNE
-        ]
-        evictions = eviction_schedule(dag, order)
+        order = self._execution_order(dag, plan)
+        executing = set(order)
+        consumers = self._consumer_counts(dag, executing)
 
-        for position, name in enumerate(order):
+        for name in order:
             node = dag.node(name)
-            state = plan.states[name]
-            if state is NodeState.LOAD:
-                value, charged = self._load_node(name, signatures[name])
-            else:
-                value, charged = self._compute_node(dag, name)
+            value, charged = self._run_node(dag, name, plan.states[name], signatures[name])
             size_bytes = estimate_size_bytes(value)
             self.cache.put(name, value, size_bytes)
+            self.cache.set_consumers(name, consumers[name])
             stats.node_times[name] = charged
             stats.node_sizes[name] = size_bytes
             component = node.component.value
@@ -98,17 +95,51 @@ class ExecutionEngine:
                 stats.outputs[name] = value
             memory.snapshot(self.cache.snapshot_bytes())
 
-            for evicted in evictions.get(position, []):
-                self._retire_node(dag, evicted, signatures[evicted], stats, iteration)
+            # Reference-count bookkeeping: this node consumed each of its
+            # executing parents once, and is itself out of scope immediately
+            # when it has no executing consumers.
+            out_of_scope: List[str] = []
+            if consumers[name] == 0:
+                out_of_scope.append(name)
+            for parent in {p for p in node.parents if p in executing}:
+                if self.cache.release(parent):
+                    out_of_scope.append(parent)
+            for retired in sorted(out_of_scope):
+                self._retire_node(dag, retired, signatures[retired], stats, iteration)
                 memory.snapshot(self.cache.snapshot_bytes())
 
+        return self._finalize_run(stats, memory)
+
+    # ------------------------------------------------------------------ helpers
+    def _new_run_stats(self, dag: WorkflowDAG, plan: ExecutionPlan, iteration: int) -> RunStats:
+        stats = RunStats(iteration=iteration, workflow_name=dag.name)
+        stats.node_states = dict(plan.states)
+        stats.original_nodes = sorted(plan.forced)
+        return stats
+
+    def _execution_order(self, dag: WorkflowDAG, plan: ExecutionPlan) -> List[str]:
+        """Non-pruned nodes in the DAG's deterministic topological order."""
+        return [
+            name
+            for name in dag.topological_order()
+            if plan.states[name] is not NodeState.PRUNE
+        ]
+
+    @staticmethod
+    def _consumer_counts(dag: WorkflowDAG, executing: Set[str]) -> Dict[str, int]:
+        """Number of executing consumers per executing node (scope refcounts)."""
+        return {
+            name: len({child for child in dag.children(name) if child in executing})
+            for name in executing
+        }
+
+    def _finalize_run(self, stats: RunStats, memory: MemoryTracker) -> RunStats:
         self.cache.clear()
         stats.storage_bytes = self.store.total_bytes()
         stats.peak_memory_bytes = memory.peak_bytes
         stats.average_memory_bytes = memory.average_bytes
         return stats
 
-    # ------------------------------------------------------------------ helpers
     def _validate(
         self,
         dag: WorkflowDAG,
@@ -128,7 +159,15 @@ class ExecutionEngine:
                             f"infeasible plan: {name!r} is computed but parent {parent!r} is pruned"
                         )
 
-    def _load_node(self, name: str, signature: str) -> tuple:
+    def _run_node(
+        self, dag: WorkflowDAG, name: str, state: NodeState, signature: str
+    ) -> Tuple[Any, float]:
+        """Produce one node's value (load or compute) and its charged time."""
+        if state is NodeState.LOAD:
+            return self._load_node(name, signature)
+        return self._compute_node(dag, name)
+
+    def _load_node(self, name: str, signature: str) -> Tuple[Any, float]:
         if not self.store.has(signature):
             raise ExecutionError(
                 f"plan loads node {name!r} but no materialization exists for it"
@@ -140,15 +179,20 @@ class ExecutionEngine:
         self.stats.record(signature, load_time=charged, storage_bytes=size_bytes)
         return value, charged
 
-    def _compute_node(self, dag: WorkflowDAG, name: str) -> tuple:
+    def _compute_node(self, dag: WorkflowDAG, name: str) -> Tuple[Any, float]:
         node = dag.node(name)
         inputs: List[Any] = []
         input_sizes: List[int] = []
         for parent in node.parents:
-            if parent in self.cache:
-                value = self.cache.get(parent)
-                inputs.append(value)
-                input_sizes.append(estimate_size_bytes(value))
+            if parent not in self.cache:
+                raise ExecutionError(
+                    f"cannot compute node {name!r}: input {parent!r} is not cached "
+                    f"(evicted or never produced); the operator would run with "
+                    f"fewer inputs than the DAG declares"
+                )
+            value = self.cache.get(parent)
+            inputs.append(value)
+            input_sizes.append(estimate_size_bytes(value))
         started = time.perf_counter()
         try:
             value = node.operator.run(inputs, self.context)

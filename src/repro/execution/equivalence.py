@@ -1,0 +1,187 @@
+"""Engine-equivalence harness: compare runs across execution engines.
+
+The parallel engine's contract is that it produces the same
+:class:`~repro.execution.tracker.RunStats` as the serial engine — outputs,
+node states, charged times under a deterministic cost model, materialization
+decisions, materialized-node sets and recorded statistics — with only
+wall-clock and memory-residency free to differ.  This module turns that
+contract into checkable artifacts:
+
+* :func:`canonical_run` — a JSON-serializable canonical form of a
+  :class:`RunStats`, with outputs reduced to content digests and the
+  timing-dependent fields optional.
+* :func:`run_signature` — a SHA-256 over the canonical form; two runs with
+  equal signatures are byte-identical under the chosen comparison.  Used by
+  the determinism tests (repeated parallel runs at different ``max_workers``
+  must produce identical signatures).
+* :func:`compare_runs` / :func:`assert_equivalent_runs` — field-by-field
+  comparison with readable mismatch reports, used by the equivalence suite
+  over randomly generated DAGs.
+* :func:`stats_store_snapshot` / :func:`store_snapshot` — canonical views of
+  the cross-iteration :class:`StatsStore` and the
+  :class:`MaterializationStore` catalog, so tests can also assert that two
+  engines leave identical *persistent* state behind.
+
+Memory statistics (``peak_memory_bytes`` / ``average_memory_bytes``) are
+intentionally excluded: the parallel engine legitimately holds more values
+in memory at once, so residency profiles differ between engines and worker
+counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional
+
+from ..optimizer.metrics import StatsStore
+from ..storage.serialization import serialize
+from ..storage.store import MaterializationStore
+from .tracker import RunStats
+
+__all__ = [
+    "canonical_run",
+    "run_signature",
+    "compare_runs",
+    "assert_equivalent_runs",
+    "stats_store_snapshot",
+    "store_snapshot",
+]
+
+
+def _digest(value: Any) -> str:
+    """Content digest of an arbitrary operator output."""
+    return hashlib.sha256(serialize(value)).hexdigest()
+
+
+def _float_token(value: float) -> str:
+    """Full-precision, reproducible representation of a float."""
+    return repr(float(value))
+
+
+def canonical_run(stats: RunStats, include_times: bool = True) -> Dict[str, Any]:
+    """A canonical, JSON-serializable view of one iteration's run statistics.
+
+    ``include_times`` controls whether charged times (node, component,
+    materialization) and the decision thresholds participate.  Set it to
+    ``False`` when comparing runs executed under a wall-clock cost model,
+    where charged times are legitimately noisy.
+    """
+    canonical: Dict[str, Any] = {
+        "workflow": stats.workflow_name,
+        "iteration": stats.iteration,
+        "node_states": {name: state.value for name, state in sorted(stats.node_states.items())},
+        "node_sizes": {name: int(size) for name, size in sorted(stats.node_sizes.items())},
+        "executed_nodes": list(stats.node_times.keys()),
+        "outputs": {name: _digest(value) for name, value in sorted(stats.outputs.items())},
+        "original_nodes": list(stats.original_nodes),
+        "materialized_nodes": list(stats.materialized_nodes),
+        "decisions": [
+            {"node": decision.node, "materialize": bool(decision.materialize)}
+            for decision in stats.decisions
+        ],
+        "storage_bytes": int(stats.storage_bytes),
+    }
+    if include_times:
+        canonical["node_times"] = {
+            name: _float_token(charged) for name, charged in sorted(stats.node_times.items())
+        }
+        canonical["component_times"] = {
+            component: _float_token(seconds)
+            for component, seconds in sorted(stats.component_times.items())
+        }
+        canonical["materialization_time"] = _float_token(stats.materialization_time)
+        canonical["decision_details"] = [
+            {
+                "node": decision.node,
+                "materialize": bool(decision.materialize),
+                "reason": decision.reason,
+                "cumulative_time": _float_token(decision.cumulative_time),
+                "load_estimate": _float_token(decision.load_estimate),
+            }
+            for decision in stats.decisions
+        ]
+    return canonical
+
+
+def run_signature(stats: RunStats, include_times: bool = True) -> str:
+    """SHA-256 signature of :func:`canonical_run` (byte-identical comparison)."""
+    payload = json.dumps(canonical_run(stats, include_times=include_times), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def stats_store_snapshot(stats: StatsStore, include_times: bool = True) -> Dict[str, Any]:
+    """Canonical view of a :class:`StatsStore`'s per-signature metrics."""
+    snapshot: Dict[str, Any] = {}
+    for signature, metrics in stats.items():
+        entry: Dict[str, Any] = {
+            "observations": metrics.observations,
+            "storage_bytes": metrics.storage_bytes,
+        }
+        if include_times:
+            entry["compute_time"] = _float_token(metrics.compute_time)
+            entry["load_time"] = _float_token(metrics.load_time)
+        snapshot[signature] = entry
+    return snapshot
+
+
+def store_snapshot(store: MaterializationStore) -> Dict[str, Any]:
+    """Canonical view of a materialization store's catalog (what is persisted)."""
+    return {
+        record.signature: {"node": record.node_name, "size_bytes": record.size_bytes}
+        for record in store.artifacts()
+    }
+
+
+def compare_runs(
+    reference: RunStats,
+    candidate: RunStats,
+    include_times: bool = True,
+) -> List[str]:
+    """Field-by-field comparison; returns human-readable mismatch descriptions."""
+    mismatches: List[str] = []
+    left = canonical_run(reference, include_times=include_times)
+    right = canonical_run(candidate, include_times=include_times)
+    for key in left:
+        if left[key] != right[key]:
+            mismatches.append(
+                f"{key}: reference={_compact(left[key])} candidate={_compact(right[key])}"
+            )
+    return mismatches
+
+
+def assert_equivalent_runs(
+    reference: RunStats,
+    candidate: RunStats,
+    include_times: bool = True,
+    reference_stats: Optional[StatsStore] = None,
+    candidate_stats: Optional[StatsStore] = None,
+    reference_store: Optional[MaterializationStore] = None,
+    candidate_store: Optional[MaterializationStore] = None,
+) -> None:
+    """Assert two runs (and optionally their persistent state) are equivalent.
+
+    Raises ``AssertionError`` listing every mismatching field.  Pass the
+    engines' :class:`StatsStore` and :class:`MaterializationStore` instances
+    to extend the check to cross-iteration state.
+    """
+    mismatches = compare_runs(reference, candidate, include_times=include_times)
+    if reference_stats is not None and candidate_stats is not None:
+        left = stats_store_snapshot(reference_stats, include_times=include_times)
+        right = stats_store_snapshot(candidate_stats, include_times=include_times)
+        if left != right:
+            mismatches.append(f"stats_store: reference={_compact(left)} candidate={_compact(right)}")
+    if reference_store is not None and candidate_store is not None:
+        left = store_snapshot(reference_store)
+        right = store_snapshot(candidate_store)
+        if left != right:
+            mismatches.append(f"materialization_store: reference={_compact(left)} candidate={_compact(right)}")
+    if mismatches:
+        raise AssertionError(
+            "engine runs are not equivalent:\n  " + "\n  ".join(mismatches)
+        )
+
+
+def _compact(value: Any, limit: int = 300) -> str:
+    text = json.dumps(value, sort_keys=True, default=str)
+    return text if len(text) <= limit else text[: limit - 3] + "..."

@@ -9,6 +9,7 @@ breakdowns (Figure 6), materialization overhead, storage snapshots
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
@@ -20,27 +21,37 @@ __all__ = ["MemoryTracker", "RunStats"]
 
 
 class MemoryTracker:
-    """Collects cache-size snapshots during one iteration's execution."""
+    """Collects cache-size snapshots during one iteration's execution.
+
+    Snapshots may be taken concurrently by the parallel execution engine's
+    scheduler and worker threads, so recording and the derived aggregates are
+    guarded by a lock.
+    """
 
     def __init__(self) -> None:
         self._snapshots: List[int] = []
+        self._lock = threading.Lock()
 
     def snapshot(self, size_bytes: int) -> None:
-        self._snapshots.append(int(size_bytes))
+        with self._lock:
+            self._snapshots.append(int(size_bytes))
 
     @property
     def peak_bytes(self) -> int:
-        return max(self._snapshots, default=0)
+        with self._lock:
+            return max(self._snapshots, default=0)
 
     @property
     def average_bytes(self) -> float:
-        if not self._snapshots:
-            return 0.0
-        return sum(self._snapshots) / len(self._snapshots)
+        with self._lock:
+            if not self._snapshots:
+                return 0.0
+            return sum(self._snapshots) / len(self._snapshots)
 
     @property
     def snapshots(self) -> List[int]:
-        return list(self._snapshots)
+        with self._lock:
+            return list(self._snapshots)
 
 
 @dataclass

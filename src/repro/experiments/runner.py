@@ -89,6 +89,8 @@ def run_lifecycle(
     scale: float = 1.0,
     reset: bool = True,
     plan: Optional[Sequence[IterationSpec]] = None,
+    engine: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> LifecycleResult:
     """Run ``system`` through a full iterative lifecycle of ``workload``.
 
@@ -104,9 +106,17 @@ def run_lifecycle(
         Dataset scale factor (1.0 = default size, 10.0 = the 10x experiment).
     plan:
         Explicit iteration plan; overrides sampling when provided.
+    engine:
+        When given, reconfigure the system to run iterations on this
+        execution engine (``"serial"`` or ``"parallel"``); ``None`` keeps the
+        system's current configuration.
+    max_workers:
+        Worker count for the parallel engine (only used with ``engine``).
     """
     if isinstance(workload, str):
         workload = get_workload(workload)
+    if engine is not None:
+        system.configure_engine(engine, max_workers)
     if reset:
         system.reset()
     resolved_plan = list(plan) if plan is not None else build_iteration_plan(
@@ -133,8 +143,14 @@ def run_comparison(
     seed: int = 7,
     scale: float = 1.0,
     skip_unsupported: bool = True,
+    engine: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, LifecycleResult]:
-    """Run several systems over the identical lifecycle and return results by name."""
+    """Run several systems over the identical lifecycle and return results by name.
+
+    ``engine``/``max_workers`` reconfigure every system's execution engine
+    for the comparison; ``None`` keeps each system's own configuration.
+    """
     if isinstance(workload, str):
         workload = get_workload(workload)
     plan = build_iteration_plan(workload.domain, n_iterations, seed=seed)
@@ -143,6 +159,13 @@ def run_comparison(
         if skip_unsupported and not system.supports(workload.name):
             continue
         results[system.name] = run_lifecycle(
-            system, workload, n_iterations=n_iterations, seed=seed, scale=scale, plan=plan
+            system,
+            workload,
+            n_iterations=n_iterations,
+            seed=seed,
+            scale=scale,
+            plan=plan,
+            engine=engine,
+            max_workers=max_workers,
         )
     return results

@@ -16,9 +16,10 @@ numbers.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 __all__ = ["NodeMetrics", "StatsStore", "CostEstimator", "DEFAULT_DISK_BANDWIDTH"]
 
@@ -82,23 +83,29 @@ class StatsStore:
 
     The store is an in-memory mapping with optional JSON persistence so that
     a workflow lifecycle can span process restarts (as the real system's
-    statistics do).
+    statistics do).  Recording is guarded by a lock: the parallel execution
+    engine records load observations from worker threads while the scheduler
+    thread records compute observations at retirement points.
     """
 
     def __init__(self, path: Optional[Path] = None):
         self._metrics: Dict[str, NodeMetrics] = {}
+        self._lock = threading.Lock()
         self._path = Path(path) if path is not None else None
         if self._path is not None and self._path.exists():
             self._load()
 
     def __contains__(self, signature: str) -> bool:
-        return signature in self._metrics
+        with self._lock:
+            return signature in self._metrics
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def get(self, signature: str) -> Optional[NodeMetrics]:
-        return self._metrics.get(signature)
+        with self._lock:
+            return self._metrics.get(signature)
 
     def record(
         self,
@@ -108,18 +115,30 @@ class StatsStore:
         storage_bytes: Optional[int] = None,
     ) -> NodeMetrics:
         """Record an observation for a signature and return the merged metrics."""
-        metrics = self._metrics.setdefault(signature, NodeMetrics())
-        metrics.merge_observation(compute_time, load_time, storage_bytes)
-        return metrics
+        with self._lock:
+            metrics = self._metrics.setdefault(signature, NodeMetrics())
+            metrics.merge_observation(compute_time, load_time, storage_bytes)
+            return metrics
 
     def forget(self, signature: str) -> None:
-        self._metrics.pop(signature, None)
+        with self._lock:
+            self._metrics.pop(signature, None)
+
+    def items(self) -> List[Tuple[str, NodeMetrics]]:
+        """All ``(signature, metrics)`` pairs, sorted by signature.
+
+        Used by the engine-equivalence harness to compare the statistics two
+        engines accumulated over the same run.
+        """
+        with self._lock:
+            return sorted(self._metrics.items())
 
     # ------------------------------------------------------------------ persistence
     def save(self) -> None:
         if self._path is None:
             return
-        payload = {signature: asdict(metrics) for signature, metrics in self._metrics.items()}
+        with self._lock:
+            payload = {signature: asdict(metrics) for signature, metrics in self._metrics.items()}
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._path.write_text(json.dumps(payload, indent=2, sort_keys=True))
 

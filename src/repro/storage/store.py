@@ -16,6 +16,7 @@ budget raises :class:`~repro.exceptions.BudgetExceededError` (callers check
 
 from __future__ import annotations
 
+import threading
 import time
 from abc import ABC, abstractmethod
 from pathlib import Path
@@ -39,13 +40,20 @@ class StoredArtifact:
 
 
 class MaterializationStore(ABC):
-    """Common interface and budget/catalog bookkeeping for artifact stores."""
+    """Common interface and budget/catalog bookkeeping for artifact stores.
+
+    All public operations are guarded by a reentrant lock so a store can be
+    shared between the threads of the parallel execution engine: concurrent
+    ``put`` calls serialize, which keeps the budget check + catalog insert
+    atomic (two writers can never jointly overshoot the budget).
+    """
 
     def __init__(self, budget_bytes: Optional[int] = None, catalog: Optional[Catalog] = None):
         if budget_bytes is not None and budget_bytes < 0:
             raise StorageError("storage budget must be non-negative")
         self.budget_bytes = budget_bytes
         self.catalog = catalog if catalog is not None else Catalog()
+        self._store_lock = threading.RLock()
 
     # ------------------------------------------------------------------ interface
     @abstractmethod
@@ -62,10 +70,12 @@ class MaterializationStore(ABC):
 
     # ------------------------------------------------------------------ public API
     def has(self, signature: str) -> bool:
-        return signature in self.catalog
+        with self._store_lock:
+            return signature in self.catalog
 
     def total_bytes(self) -> int:
-        return self.catalog.total_bytes()
+        with self._store_lock:
+            return self.catalog.total_bytes()
 
     def remaining_budget(self) -> Optional[int]:
         if self.budget_bytes is None:
@@ -78,37 +88,40 @@ class MaterializationStore(ABC):
         Re-putting an existing signature is a no-op (the artifact is already
         on disk and, by construction, identical).
         """
-        existing = self.catalog.get(signature)
-        if existing is not None:
-            return StoredArtifact(existing, 0.0)
-        size_bytes, write_time, location = self._write(signature, value)
-        if self.budget_bytes is not None and self.total_bytes() + size_bytes > self.budget_bytes:
-            self._delete(ArtifactRecord(signature, node_name, size_bytes, iteration, location))
-            raise BudgetExceededError(
-                f"materializing {node_name!r} ({size_bytes} bytes) would exceed the "
-                f"storage budget of {self.budget_bytes} bytes"
+        with self._store_lock:
+            existing = self.catalog.get(signature)
+            if existing is not None:
+                return StoredArtifact(existing, 0.0)
+            size_bytes, write_time, location = self._write(signature, value)
+            if self.budget_bytes is not None and self.total_bytes() + size_bytes > self.budget_bytes:
+                self._delete(ArtifactRecord(signature, node_name, size_bytes, iteration, location))
+                raise BudgetExceededError(
+                    f"materializing {node_name!r} ({size_bytes} bytes) would exceed the "
+                    f"storage budget of {self.budget_bytes} bytes"
+                )
+            record = ArtifactRecord(
+                signature=signature,
+                node_name=node_name,
+                size_bytes=size_bytes,
+                iteration=iteration,
+                location=location,
             )
-        record = ArtifactRecord(
-            signature=signature,
-            node_name=node_name,
-            size_bytes=size_bytes,
-            iteration=iteration,
-            location=location,
-        )
-        self.catalog.add(record)
-        return StoredArtifact(record, write_time)
+            self.catalog.add(record)
+            return StoredArtifact(record, write_time)
 
     def load(self, signature: str) -> Tuple[Any, float]:
         """Load a previously materialized value; returns ``(value, seconds)``."""
-        record = self.catalog.get(signature)
+        with self._store_lock:
+            record = self.catalog.get(signature)
         if record is None:
             raise ArtifactNotFoundError(f"no artifact for signature {signature[:12]}...")
         return self._read(record)
 
     def delete(self, signature: str) -> None:
-        record = self.catalog.remove(signature)
-        if record is not None:
-            self._delete(record)
+        with self._store_lock:
+            record = self.catalog.remove(signature)
+            if record is not None:
+                self._delete(record)
 
     def purge_node(self, node_name: str, keep_signature: Optional[str] = None) -> List[str]:
         """Remove stale artifacts for a node whose operator changed.
@@ -118,18 +131,21 @@ class MaterializationStore(ABC):
         paper describes before executing an iteration with original
         operators, and it is why storage use is not monotonic (Figure 9c/d).
         """
-        removed = []
-        for signature in self.catalog.stale_signatures(node_name, keep_signature or ""):
-            self.delete(signature)
-            removed.append(signature)
-        return removed
+        with self._store_lock:
+            removed = []
+            for signature in self.catalog.stale_signatures(node_name, keep_signature or ""):
+                self.delete(signature)
+                removed.append(signature)
+            return removed
 
     def artifacts(self) -> List[ArtifactRecord]:
-        return self.catalog.records()
+        with self._store_lock:
+            return self.catalog.records()
 
     def clear(self) -> None:
-        for record in list(self.catalog.records()):
-            self.delete(record.signature)
+        with self._store_lock:
+            for record in list(self.catalog.records()):
+                self.delete(record.signature)
 
 
 class DiskStore(MaterializationStore):

@@ -15,6 +15,9 @@ from abc import ABC, abstractmethod
 from typing import Any, Dict, List, Optional
 
 from ..core.workflow import Workflow
+from ..exceptions import ExecutionError
+from ..execution.engine import ExecutionEngine
+from ..execution.parallel import ENGINE_NAMES, create_engine
 from ..execution.tracker import RunStats
 
 __all__ = ["System"]
@@ -25,6 +28,34 @@ class System(ABC):
 
     #: Display name used in benchmark output.
     name: str = "system"
+
+    #: Which execution engine iterations run on ("serial" or "parallel").
+    engine: str = "serial"
+
+    #: Worker count for the parallel engine (None = library default).
+    max_workers: Optional[int] = None
+
+    # ------------------------------------------------------------------ engine selection
+    def configure_engine(
+        self, engine: str = "serial", max_workers: Optional[int] = None
+    ) -> "System":
+        """Select the execution engine used by :meth:`run_iteration`.
+
+        All systems share the same execution substrate, so engine selection
+        is a system-level toggle: the reuse policies stay untouched and only
+        the scheduler underneath them changes.
+        """
+        if engine not in ENGINE_NAMES:
+            raise ExecutionError(
+                f"unknown execution engine {engine!r}; expected one of {list(ENGINE_NAMES)}"
+            )
+        self.engine = engine
+        self.max_workers = max_workers
+        return self
+
+    def _create_engine(self, **kwargs) -> ExecutionEngine:
+        """Build the configured engine with system-provided components."""
+        return create_engine(self.engine, max_workers=self.max_workers, **kwargs)
 
     @abstractmethod
     def run_iteration(

@@ -26,7 +26,6 @@ from ..core.operators import Component, RunContext
 from ..core.signatures import compute_node_signatures
 from ..core.workflow import Workflow
 from ..execution.clock import CostModel, MeasuredCostModel
-from ..execution.engine import ExecutionEngine
 from ..execution.tracker import RunStats
 from ..optimizer.metrics import StatsStore
 from ..optimizer.oep import solve_oep
@@ -70,11 +69,14 @@ class DeepDiveSystem(System):
         cost_model: Optional[CostModel] = None,
         seed: int = 0,
         dpr_slowdown: float = 2.0,
+        engine: str = "serial",
+        max_workers: Optional[int] = None,
     ):
         base = cost_model if cost_model is not None else MeasuredCostModel()
         self.cost_model = _DPRSlowdownCostModel(base, dpr_slowdown) if dpr_slowdown != 1.0 else base
         self.seed = seed
         self._iteration_storage: Dict[int, int] = {}
+        self.configure_engine(engine, max_workers)
 
     def supports(self, workload_name: str) -> bool:
         return workload_name in _SUPPORTED_WORKLOADS
@@ -99,7 +101,7 @@ class DeepDiveSystem(System):
         # A fresh store per iteration: DeepDive rewrites its extraction tables on
         # every run, so the write cost recurs and nothing is reused.
         store = InMemoryStore()
-        engine = ExecutionEngine(
+        engine = self._create_engine(
             store=store,
             policy=AlwaysMaterialize(),
             cost_model=self.cost_model,

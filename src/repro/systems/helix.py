@@ -28,7 +28,6 @@ from ..core.operators import RunContext
 from ..core.signatures import ChangeTracker, compute_node_signatures, diff_signatures
 from ..core.workflow import Workflow
 from ..execution.clock import CostModel, MeasuredCostModel
-from ..execution.engine import ExecutionEngine
 from ..execution.tracker import RunStats
 from ..optimizer.metrics import CostEstimator, StatsStore
 from ..optimizer.oep import solve_oep
@@ -63,6 +62,11 @@ class HelixSystem(System):
         How per-node times are charged; defaults to measured wall-clock time.
     seed:
         Seed propagated to operators through the :class:`RunContext`.
+    engine:
+        Execution engine for iterations: ``"serial"`` (default) or
+        ``"parallel"`` (DAG-level parallelism over a thread pool).
+    max_workers:
+        Worker count for the parallel engine (None = library default).
     """
 
     def __init__(
@@ -73,6 +77,8 @@ class HelixSystem(System):
         seed: int = 0,
         storage_budget: Optional[int] = DEFAULT_STORAGE_BUDGET,
         name: Optional[str] = None,
+        engine: str = "serial",
+        max_workers: Optional[int] = None,
     ):
         self.policy = policy if policy is not None else StreamingMaterializationPolicy()
         self.store = store if store is not None else InMemoryStore(budget_bytes=storage_budget)
@@ -82,6 +88,7 @@ class HelixSystem(System):
         self.tracker = ChangeTracker()
         self.estimator = CostEstimator(self.stats)
         self.name = name or f"helix-{self.policy.name}"
+        self.configure_engine(engine, max_workers)
 
     # ------------------------------------------------------------------ variants
     @classmethod
@@ -140,7 +147,7 @@ class HelixSystem(System):
         plan = solve_oep(dag, compute_time, load_time, forced_compute=original)
 
         # 4. Execution with streaming materialization decisions.
-        engine = ExecutionEngine(
+        engine = self._create_engine(
             store=self.store,
             policy=self.policy,
             cost_model=self.cost_model,

@@ -26,7 +26,6 @@ from ..core.operators import Component, RunContext
 from ..core.signatures import compute_node_signatures
 from ..core.workflow import Workflow
 from ..execution.clock import CostModel, MeasuredCostModel
-from ..execution.engine import ExecutionEngine
 from ..execution.tracker import RunStats
 from ..optimizer.metrics import StatsStore
 from ..optimizer.oep import solve_oep
@@ -68,12 +67,15 @@ class KeystoneMLSystem(System):
         cost_model: Optional[CostModel] = None,
         seed: int = 0,
         li_overhead_factor: float = 1.0,
+        engine: str = "serial",
+        max_workers: Optional[int] = None,
     ):
         base = cost_model if cost_model is not None else MeasuredCostModel()
         if li_overhead_factor != 1.0:
             base = _ComponentOverheadCostModel(base, {Component.LI.value: li_overhead_factor})
         self.cost_model = base
         self.seed = seed
+        self.configure_engine(engine, max_workers)
 
     def supports(self, workload_name: str) -> bool:
         return workload_name not in _UNSUPPORTED_WORKLOADS
@@ -93,7 +95,7 @@ class KeystoneMLSystem(System):
         load_time = {name: float("inf") for name in dag.node_names}
         # Force every node to be computed: no prior results exist by policy.
         plan = solve_oep(dag, compute_time, load_time, forced_compute=dag.node_names)
-        engine = ExecutionEngine(
+        engine = self._create_engine(
             store=InMemoryStore(),
             policy=NeverMaterialize(),
             cost_model=self.cost_model,

@@ -12,6 +12,7 @@ from .iterations import (
 )
 from .mnist import MnistConfig, MnistWorkload, generate_digit_images
 from .nlp_ie import IEConfig, IEWorkload, generate_news_articles, generate_spouse_kb
+from .synthetic import LatencyOperator, make_random_dag, make_wide_dag
 
 __all__ = [
     "WORKLOADS",
@@ -38,4 +39,7 @@ __all__ = [
     "IEWorkload",
     "generate_news_articles",
     "generate_spouse_kb",
+    "LatencyOperator",
+    "make_random_dag",
+    "make_wide_dag",
 ]

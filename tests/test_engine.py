@@ -115,6 +115,14 @@ class TestExecution:
             _engine().execute(dag, plan, compute_node_signatures(dag))
         assert excinfo.value.node_name == "bad"
 
+    def test_missing_cached_parent_raises_instead_of_silent_skip(self, diamond_dag):
+        # Regression: parents absent from the cache used to be skipped, so an
+        # operator could run with fewer inputs than the DAG declares and
+        # return a silently wrong value.
+        engine = _engine()
+        with pytest.raises(ExecutionError, match="not cached"):
+            engine._compute_node(diamond_dag, "d")
+
 
 class TestMaterialization:
     def test_outputs_always_materialized(self, diamond_dag):

@@ -1,0 +1,478 @@
+"""Engine-equivalence test harness: serial vs parallel execution.
+
+The parallel engine's contract (see ``repro/execution/parallel.py``) is that
+it produces the same run statistics as the serial engine modulo timing and
+memory residency.  This suite pins that contract down:
+
+* **Equivalence over random DAGs** — serial and parallel engines execute
+  identical plans over seeded random DAGs (varying width/depth, mixed
+  LOAD/COMPUTE/PRUNE states across two iterations, all three materialization
+  policies, tight storage budgets) and must produce identical outputs, node
+  states, materialized-node sets, decisions, StatsStore contents and store
+  catalogs.
+* **Determinism** — with the simulated cost model, repeated parallel runs at
+  ``max_workers`` 1, 2 and 8 produce byte-identical run signatures.
+* **Crash paths** — a failing operator surfaces a single
+  :class:`OperatorError` naming the node, cancels outstanding work, and
+  leaves the store's budget accounting consistent.
+* **Missing-input regression** — ``_compute_node`` raises
+  :class:`ExecutionError` when a declared parent is absent from the cache
+  instead of silently running the operator with fewer inputs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Sequence
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dag import Node, WorkflowDAG
+from repro.core.operators import Component, Operator, RunContext
+from repro.core.signatures import compute_node_signatures
+from repro.exceptions import ExecutionError, OperatorError
+from repro.execution.clock import SimulatedCostModel
+from repro.execution.engine import ExecutionEngine
+from repro.execution.equivalence import (
+    assert_equivalent_runs,
+    compare_runs,
+    run_signature,
+    stats_store_snapshot,
+    store_snapshot,
+)
+from repro.execution.parallel import ParallelExecutionEngine, create_engine
+from repro.optimizer.metrics import StatsStore
+from repro.optimizer.oep import NodeState, solve_oep
+from repro.optimizer.omp import (
+    AlwaysMaterialize,
+    MaterializationPolicy,
+    NeverMaterialize,
+    StreamingMaterializationPolicy,
+)
+from repro.storage.store import InMemoryStore
+from repro.systems.helix import HelixSystem
+from repro.experiments.runner import run_lifecycle
+from repro.workloads.synthetic import LatencyOperator, make_random_dag, make_wide_dag
+
+from conftest import FailingOperator
+
+INF = float("inf")
+
+POLICIES = {
+    "never": NeverMaterialize,
+    "always": AlwaysMaterialize,
+    "streaming": StreamingMaterializationPolicy,
+}
+
+
+# ---------------------------------------------------------------------------
+# Harness helpers
+# ---------------------------------------------------------------------------
+class EngineRig:
+    """One engine with its own store/stats, driven through plan+execute."""
+
+    def __init__(self, engine_name: str, policy: MaterializationPolicy, budget=None, max_workers=None):
+        self.store = InMemoryStore(budget_bytes=budget)
+        self.stats_store = StatsStore()
+        self.engine = create_engine(
+            engine_name,
+            max_workers=max_workers,
+            store=self.store,
+            policy=policy,
+            cost_model=SimulatedCostModel(),
+            stats=self.stats_store,
+            context=RunContext(seed=0),
+        )
+
+    def run(self, dag: WorkflowDAG, signatures: Dict[str, str], forced: Sequence[str], iteration: int = 0):
+        """Solve an OEP plan (loads allowed where the store has artifacts) and execute it."""
+        compute_time = {name: 1.0 for name in dag.node_names}
+        load_time = {
+            name: (0.01 if self.store.has(signatures[name]) else INF)
+            for name in dag.node_names
+        }
+        plan = solve_oep(dag, compute_time, load_time, forced_compute=forced)
+        return plan, self.engine.execute(dag, plan, signatures, iteration=iteration)
+
+
+def run_engine_pair(dag, policy_name: str, budget=None, max_workers: int = 4):
+    """Run serial and parallel rigs through two iterations over ``dag``.
+
+    Iteration 0 computes everything (and materializes per policy); iteration
+    1 re-plans against the now-populated store with a deterministic forced
+    subset, producing a LOAD/COMPUTE/PRUNE mix.  Returns both rigs and the
+    per-iteration stats for each engine.
+    """
+    signatures = compute_node_signatures(dag)
+    forced_second = sorted(dag.node_names)[:: max(1, len(dag) // 3)]
+    runs = {}
+    rigs = {}
+    for engine_name in ("serial", "parallel"):
+        rig = EngineRig(
+            engine_name,
+            POLICIES[policy_name](),
+            budget=budget,
+            max_workers=max_workers if engine_name == "parallel" else None,
+        )
+        plan0, stats0 = rig.run(dag, signatures, forced=dag.node_names, iteration=0)
+        plan1, stats1 = rig.run(dag, signatures, forced=forced_second, iteration=1)
+        runs[engine_name] = (plan0, stats0, plan1, stats1)
+        rigs[engine_name] = rig
+    return rigs, runs
+
+
+def assert_pair_equivalent(rigs, runs):
+    serial_plan0, serial0, serial_plan1, serial1 = runs["serial"]
+    parallel_plan0, parallel0, parallel_plan1, parallel1 = runs["parallel"]
+    assert serial_plan0.states == parallel_plan0.states
+    assert serial_plan1.states == parallel_plan1.states
+    assert_equivalent_runs(serial0, parallel0)
+    assert_equivalent_runs(
+        serial1,
+        parallel1,
+        reference_stats=rigs["serial"].stats_store,
+        candidate_stats=rigs["parallel"].stats_store,
+        reference_store=rigs["serial"].store,
+        candidate_store=rigs["parallel"].store,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Equivalence over random and structured DAGs
+# ---------------------------------------------------------------------------
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_dags_two_iterations(self, seed, policy_name):
+        dag = make_random_dag(seed, max_width=4, max_depth=5)
+        rigs, runs = run_engine_pair(dag, policy_name)
+        assert_pair_equivalent(rigs, runs)
+
+    @pytest.mark.parametrize("branches,depth", [(8, 1), (8, 3), (2, 6), (1, 1)])
+    def test_wide_and_deep_dags(self, branches, depth):
+        dag = make_wide_dag(branches=branches, depth=depth)
+        rigs, runs = run_engine_pair(dag, "streaming")
+        assert_pair_equivalent(rigs, runs)
+
+    def test_second_iteration_has_mixed_states(self):
+        """Sanity-check the harness itself: iteration 1 actually mixes states."""
+        dag = make_wide_dag(branches=4, depth=2)
+        _, runs = run_engine_pair(dag, "always")
+        _, _, plan1, stats1 = runs["parallel"]
+        states = set(plan1.states.values())
+        assert NodeState.LOAD in states
+        assert NodeState.COMPUTE in states
+        assert stats1.nodes_in_state(NodeState.LOAD)
+
+    @pytest.mark.parametrize("budget", [0, 400, 2000])
+    def test_tight_budget_decision_sequences_match(self, budget):
+        """Budget-exhaustion decisions depend on commit order; they must align."""
+        dag = make_random_dag(3, max_width=4, max_depth=4)
+        rigs, runs = run_engine_pair(dag, "always", budget=budget)
+        assert_pair_equivalent(rigs, runs)
+        _, _, _, serial1 = runs["serial"]
+        assert rigs["serial"].store.total_bytes() <= budget if budget else True
+
+    def test_outputs_equal_values_not_just_digests(self):
+        dag = make_random_dag(7)
+        _, runs = run_engine_pair(dag, "never")
+        _, serial0, _, _ = runs["serial"]
+        _, parallel0, _, _ = runs["parallel"]
+        assert serial0.outputs == parallel0.outputs
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_equivalence_on_arbitrary_seeds(self, seed):
+        dag = make_random_dag(seed, max_width=3, max_depth=4)
+        signatures = compute_node_signatures(dag)
+        serial = EngineRig("serial", StreamingMaterializationPolicy())
+        parallel = EngineRig("parallel", StreamingMaterializationPolicy(), max_workers=8)
+        _, serial_stats = serial.run(dag, signatures, forced=dag.node_names)
+        _, parallel_stats = parallel.run(dag, signatures, forced=dag.node_names)
+        assert_equivalent_runs(
+            serial_stats,
+            parallel_stats,
+            reference_stats=serial.stats_store,
+            candidate_stats=parallel.stats_store,
+            reference_store=serial.store,
+            candidate_store=parallel.store,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Determinism across worker counts and repeated runs
+# ---------------------------------------------------------------------------
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("seed", [0, 11, 42])
+    def test_byte_identical_across_worker_counts(self, seed):
+        """With a fixed cost model, workers 1/2/8 give byte-identical signatures."""
+        dag = make_random_dag(seed, max_width=4, max_depth=5)
+        signatures_by_workers = {}
+        for workers in (1, 2, 8):
+            rig = EngineRig("parallel", StreamingMaterializationPolicy(), max_workers=workers)
+            dag_signatures = compute_node_signatures(dag)
+            _, stats0 = rig.run(dag, dag_signatures, forced=dag.node_names, iteration=0)
+            _, stats1 = rig.run(dag, dag_signatures, forced=(), iteration=1)
+            signatures_by_workers[workers] = (
+                run_signature(stats0, include_times=True),
+                run_signature(stats1, include_times=True),
+                stats_store_snapshot(rig.stats_store),
+                store_snapshot(rig.store),
+            )
+        reference = signatures_by_workers[1]
+        assert signatures_by_workers[2] == reference
+        assert signatures_by_workers[8] == reference
+
+    def test_repeated_runs_identical(self):
+        dag = make_wide_dag(branches=6, depth=2)
+        seen = set()
+        for _ in range(3):
+            rig = EngineRig("parallel", AlwaysMaterialize(), max_workers=8)
+            _, stats = rig.run(dag, compute_node_signatures(dag), forced=dag.node_names)
+            seen.add(run_signature(stats, include_times=True))
+        assert len(seen) == 1
+
+    def test_matches_serial_signature_bit_for_bit(self):
+        dag = make_random_dag(5)
+        signatures = compute_node_signatures(dag)
+        serial = EngineRig("serial", StreamingMaterializationPolicy())
+        parallel = EngineRig("parallel", StreamingMaterializationPolicy(), max_workers=8)
+        _, serial_stats = serial.run(dag, signatures, forced=dag.node_names)
+        _, parallel_stats = parallel.run(dag, signatures, forced=dag.node_names)
+        assert run_signature(serial_stats) == run_signature(parallel_stats)
+
+
+# ---------------------------------------------------------------------------
+# Crash paths
+# ---------------------------------------------------------------------------
+class RecordingOperator(LatencyOperator):
+    """LatencyOperator that records executions into a shared thread-safe log."""
+
+    _log: List[str] = []
+    _log_lock = threading.Lock()
+
+    def __init__(self, name: str, **kwargs):
+        super().__init__(tag=name, **kwargs)
+        self._name = name
+
+    def run(self, inputs, context):
+        with RecordingOperator._log_lock:
+            RecordingOperator._log.append(self._name)
+        return super().run(inputs, context)
+
+    @classmethod
+    def reset_log(cls) -> None:
+        with cls._log_lock:
+            cls._log = []
+
+    @classmethod
+    def executed(cls) -> List[str]:
+        with cls._log_lock:
+            return list(cls._log)
+
+
+def _crash_dag(branches: int = 4, depth: int = 10, sleep_seconds: float = 0.005) -> WorkflowDAG:
+    """A failing root plus several slow chains: plenty of outstanding work."""
+    nodes = [Node.create("boom", FailingOperator(), is_output=True)]
+    for branch in range(branches):
+        previous = None
+        for level in range(depth):
+            name = f"c{branch}_n{level}"
+            parents = [previous] if previous else []
+            nodes.append(
+                Node.create(
+                    name,
+                    RecordingOperator(name, offset=1.0, sleep_seconds=sleep_seconds),
+                    parents=parents,
+                    is_output=(level == depth - 1),
+                )
+            )
+            previous = name
+    return WorkflowDAG(nodes, name="crash")
+
+
+def _all_compute_plan(dag: WorkflowDAG):
+    return solve_oep(
+        dag,
+        {name: 1.0 for name in dag.node_names},
+        {name: INF for name in dag.node_names},
+        forced_compute=dag.node_names,
+    )
+
+
+class TestCrashPaths:
+    def _run_crash(self, policy=None, budget=None, max_workers=4):
+        RecordingOperator.reset_log()
+        dag = _crash_dag()
+        store = InMemoryStore(budget_bytes=budget)
+        engine = ParallelExecutionEngine(
+            store=store,
+            policy=policy if policy is not None else NeverMaterialize(),
+            cost_model=SimulatedCostModel(),
+            stats=StatsStore(),
+            max_workers=max_workers,
+        )
+        with pytest.raises(OperatorError) as excinfo:
+            engine.execute(dag, _all_compute_plan(dag), compute_node_signatures(dag))
+        return dag, store, engine, excinfo.value
+
+    def test_single_operator_error_names_failing_node(self):
+        dag, _, _, error = self._run_crash()
+        assert error.node_name == "boom"
+        assert "boom" in str(error)
+
+    def test_outstanding_work_is_cancelled(self):
+        dag, _, _, _ = self._run_crash()
+        executed = RecordingOperator.executed()
+        # The failure surfaces long before the 40 slow chain nodes finish:
+        # not-yet-started futures are cancelled, so most nodes never ran.
+        assert len(executed) < len(dag) - 1
+
+    def test_budget_accounting_consistent_after_failure(self):
+        budget = 10_000
+        _, store, _, _ = self._run_crash(policy=AlwaysMaterialize(), budget=budget)
+        records = store.artifacts()
+        assert store.total_bytes() == sum(record.size_bytes for record in records)
+        assert store.total_bytes() <= budget
+        assert store.remaining_budget() == budget - store.total_bytes()
+
+    def test_cache_cleared_after_failure(self):
+        _, _, engine, _ = self._run_crash()
+        assert len(engine.cache) == 0
+
+    def test_serial_and_parallel_raise_same_error_type(self):
+        dag = _crash_dag(branches=1, depth=1, sleep_seconds=0.0)
+        for engine_name in ("serial", "parallel"):
+            rig = EngineRig(engine_name, NeverMaterialize())
+            with pytest.raises(OperatorError) as excinfo:
+                rig.engine.execute(dag, _all_compute_plan(dag), compute_node_signatures(dag))
+            assert excinfo.value.node_name == "boom"
+
+
+# ---------------------------------------------------------------------------
+# Engine selection plumbing (systems + experiment runner)
+# ---------------------------------------------------------------------------
+class TestEngineSelection:
+    def test_create_engine_rejects_unknown_name(self):
+        with pytest.raises(ExecutionError):
+            create_engine("distributed", store=InMemoryStore())
+
+    def test_configure_engine_rejects_unknown_name(self):
+        with pytest.raises(ExecutionError):
+            HelixSystem.opt().configure_engine("gpu")
+
+    def test_parallel_engine_rejects_bad_worker_count(self):
+        with pytest.raises(ExecutionError):
+            ParallelExecutionEngine(store=InMemoryStore(), max_workers=0)
+
+    def test_system_constructor_accepts_engine(self):
+        system = HelixSystem.opt(engine="parallel", max_workers=3)
+        assert system.engine == "parallel"
+        assert system.max_workers == 3
+
+    def test_run_lifecycle_engine_override_equivalent(self):
+        serial = HelixSystem.opt(cost_model=SimulatedCostModel(), seed=0)
+        parallel = HelixSystem.opt(cost_model=SimulatedCostModel(), seed=0)
+        reference = run_lifecycle(serial, "census", n_iterations=2)
+        candidate = run_lifecycle(parallel, "census", n_iterations=2, engine="parallel", max_workers=4)
+        assert parallel.engine == "parallel"
+        for serial_stats, parallel_stats in zip(reference.iterations, candidate.iterations):
+            assert_equivalent_runs(serial_stats, parallel_stats)
+
+
+# ---------------------------------------------------------------------------
+# Missing-input regression (previously: silent skip)
+# ---------------------------------------------------------------------------
+class TestMissingInputRegression:
+    def test_compute_node_with_missing_parent_raises(self, diamond_dag):
+        engine = ExecutionEngine(store=InMemoryStore(), cost_model=SimulatedCostModel())
+        # The cache is empty, so computing "d" would previously have run the
+        # operator with zero of its two declared inputs.
+        with pytest.raises(ExecutionError, match="not cached"):
+            engine._compute_node(diamond_dag, "d")
+
+    def test_lru_pressure_eviction_surfaces_error_instead_of_wrong_result(self, diamond_dag):
+        from repro.execution.cache import LRUCache
+
+        # A pathologically small LRU cache evicts "a" while "b"/"c" still
+        # need it.  The engine must fail loudly rather than compute "c" from
+        # fewer inputs and return a silently wrong output.
+        engine = ExecutionEngine(
+            store=InMemoryStore(),
+            cost_model=SimulatedCostModel(),
+            cache=LRUCache(capacity_bytes=1),
+        )
+        with pytest.raises(ExecutionError, match="not cached"):
+            engine.execute(
+                diamond_dag, _all_compute_plan(diamond_dag), compute_node_signatures(diamond_dag)
+            )
+
+    def test_parallel_engine_also_guards_missing_inputs(self, diamond_dag):
+        from repro.execution.cache import LRUCache
+
+        engine = ParallelExecutionEngine(
+            store=InMemoryStore(),
+            cost_model=SimulatedCostModel(),
+            cache=LRUCache(capacity_bytes=1),
+            max_workers=2,
+        )
+        with pytest.raises(ExecutionError):
+            engine.execute(
+                diamond_dag, _all_compute_plan(diamond_dag), compute_node_signatures(diamond_dag)
+            )
+
+
+# ---------------------------------------------------------------------------
+# Thread-safe cache refcounts
+# ---------------------------------------------------------------------------
+class TestCacheRefcounts:
+    def test_release_reports_zero_exactly_once(self):
+        from repro.execution.cache import EagerCache
+
+        cache = EagerCache()
+        cache.put("x", 1.0)
+        cache.set_consumers("x", 2)
+        assert cache.release("x") is False
+        assert cache.release("x") is True
+        assert cache.release("x") is False  # further releases are inert
+
+    def test_zero_consumer_entries_start_out_of_scope(self):
+        from repro.execution.cache import EagerCache
+
+        cache = EagerCache()
+        cache.put("x", 1.0)
+        cache.set_consumers("x", 0)
+        assert cache.consumers("x") == 0
+        assert cache.release("x") is False
+
+    def test_negative_consumers_rejected(self):
+        from repro.execution.cache import EagerCache
+
+        with pytest.raises(ExecutionError):
+            EagerCache().set_consumers("x", -1)
+
+    def test_concurrent_releases_single_zero_transition(self):
+        from repro.execution.cache import EagerCache
+
+        cache = EagerCache()
+        cache.put("x", 1.0)
+        consumers = 64
+        cache.set_consumers("x", consumers)
+        zero_transitions = []
+        barrier = threading.Barrier(8)
+
+        def worker(releases: int) -> None:
+            barrier.wait()
+            for _ in range(releases):
+                if cache.release("x"):
+                    zero_transitions.append(True)
+
+        threads = [threading.Thread(target=worker, args=(consumers // 8,)) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert zero_transitions == [True]
