@@ -1,18 +1,28 @@
 """Figure 7: scalability with dataset size (7a), cluster size (7b) and
-engine parallelism (7c).
+executor parallelism (7c).
 
 7(a) runs the census lifecycle at 1x and Nx dataset scale for Helix and
 KeystoneML (the paper uses 10x; the harness defaults to 4x to keep run time
 modest — pass ``--scale`` via REPRO_FIG7_SCALE to change it).  7(b) repeats
 the census-at-scale lifecycle under a simulated 2/4/8-worker cluster cost
-model for both systems.  7(c) compares the serial and parallel execution
-engines on a wide synthetic DAG (independent latency-bound branches) where
-DAG-level parallelism should pay off: the parallel engine must beat the
-serial engine by >= 2x wall-clock while producing equivalent run statistics.
+model for both systems.  7(c) is a three-way inline/thread/process executor
+comparison on two synthetic wide-DAG workloads:
+
+* **latency-bound** (``make_wide_dag``, real sleeps): the thread executor
+  must beat inline by >= 2x wall-clock — latency overlaps even on one core;
+* **CPU-bound** (``make_cpu_dag``, pure-Python spin loops that hold the
+  GIL): the process executor must beat inline by >= 2x with 4 workers on a
+  >= 4-core machine, while the thread executor stays < 1.3x (the GIL gap the
+  process executor exists to close).  On machines with fewer cores the CPU
+  bars are reported but not enforced — there is no parallel CPU to win.
+
+Every comparison also asserts all executors produced equivalent run
+statistics (timing excluded — the cost model here charges wall-clock).
 
 Running this file as a script (``python benchmarks/bench_fig7_scalability.py
-[--smoke]``) executes the 7(c) comparison standalone, without
-pytest-benchmark; ``--smoke`` shrinks the DAG for CI.
+[--smoke] [--executor thread|process|all]``) executes the 7(c) comparisons
+standalone, without pytest-benchmark; ``--smoke`` shrinks the DAGs for CI and
+``--executor`` selects the latency (thread), CPU (process) or both sections.
 """
 
 from __future__ import annotations
@@ -21,14 +31,14 @@ import argparse
 import os
 import sys
 import time
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import pytest
 
+from repro.core.dag import WorkflowDAG
 from repro.core.signatures import compute_node_signatures
-from repro.execution.engine import ExecutionEngine
+from repro.execution.engine import create_engine
 from repro.execution.equivalence import assert_equivalent_runs
-from repro.execution.parallel import ParallelExecutionEngine
 from repro.execution.tracker import RunStats
 from repro.experiments.figures import figure7b
 from repro.experiments.report import format_series_table
@@ -39,7 +49,7 @@ from repro.optimizer.omp import StreamingMaterializationPolicy
 from repro.storage.store import InMemoryStore
 from repro.systems.helix import HelixSystem
 from repro.systems.keystoneml import KeystoneMLSystem
-from repro.workloads.synthetic import make_wide_dag
+from repro.workloads.synthetic import make_cpu_dag, make_wide_dag
 
 from _bench_helpers import SEED, emit, run_once
 
@@ -47,11 +57,15 @@ from _bench_helpers import SEED, emit, run_once
 SCALE = float(os.environ.get("REPRO_FIG7_SCALE", "4"))
 ITERS = 6
 
-#: Wide-DAG shape for the 7(c) engine comparison: >= 8 independent branches.
+#: Wide-DAG shape for the 7(c) latency comparison: >= 8 independent branches.
 FIG7C_BRANCHES = 8
 FIG7C_DEPTH = 3
 FIG7C_NODE_SECONDS = 0.02
 FIG7C_MAX_WORKERS = 4
+
+#: CPU-bound shape: same topology, pure-Python spin loops instead of sleeps.
+FIG7C_CPU_DEPTH = 2
+FIG7C_CPU_SPIN = 1_500_000
 
 
 def test_fig7a_dataset_scalability(benchmark):
@@ -108,17 +122,22 @@ def test_fig7b_cluster_scalability(benchmark):
 
 
 # ---------------------------------------------------------------------------
-# Figure 7c: serial vs parallel execution engine on a wide DAG
+# Figure 7c: inline vs thread vs process executors on wide DAGs
 # ---------------------------------------------------------------------------
-def _run_engine(
-    engine_cls,
-    branches: int,
-    depth: int,
-    node_seconds: float,
-    **engine_kwargs,
+EXECUTORS = ("inline", "thread", "process")
+
+
+def _run_executor(
+    executor: str,
+    dag_factory: Callable[[], WorkflowDAG],
+    max_workers: Optional[int] = None,
 ) -> Tuple[float, RunStats]:
-    """Execute the wide DAG once on a fresh engine; return (wall_clock, stats)."""
-    dag = make_wide_dag(branches=branches, depth=depth, node_seconds=node_seconds)
+    """Execute one DAG on a fresh engine; return (wall_clock, stats).
+
+    The wall clock includes worker-pool startup — the process executor must
+    amortize fork + payload pickling to win, exactly as it must in practice.
+    """
+    dag = dag_factory()
     signatures = compute_node_signatures(dag)
     plan = solve_oep(
         dag,
@@ -126,94 +145,186 @@ def _run_engine(
         {name: float("inf") for name in dag.node_names},
         forced_compute=dag.node_names,
     )
-    engine = engine_cls(
+    engine = create_engine(
+        executor,
+        max_workers=max_workers,
         store=InMemoryStore(),
         policy=StreamingMaterializationPolicy(),
         stats=StatsStore(),
-        **engine_kwargs,
     )
     started = time.perf_counter()
     stats = engine.execute(dag, plan, signatures)
     return time.perf_counter() - started, stats
 
 
-def run_engine_comparison(
-    branches: int = FIG7C_BRANCHES,
-    depth: int = FIG7C_DEPTH,
-    node_seconds: float = FIG7C_NODE_SECONDS,
+def run_executor_comparison(
+    dag_factory: Callable[[], WorkflowDAG],
     max_workers: int = FIG7C_MAX_WORKERS,
     repeats: int = 2,
+    executors: Sequence[str] = EXECUTORS,
 ) -> Dict[str, float]:
-    """Best-of-N serial vs parallel wall-clock on the wide DAG.
+    """Best-of-N wall-clock for every executor on the same DAG.
 
-    Also asserts the two engines produced equivalent run statistics
-    (timing excluded — the cost model here charges wall-clock).
+    Also asserts all executors produced equivalent run statistics (timing
+    excluded — the cost model here charges wall-clock).  Returns
+    ``{executor}_seconds`` and ``{executor}_speedup`` (relative to inline)
+    per executor.
     """
-    serial_best = float("inf")
-    parallel_best = float("inf")
-    serial_stats = parallel_stats = None
+    best: Dict[str, float] = {name: float("inf") for name in executors}
+    best_stats: Dict[str, RunStats] = {}
     for _ in range(repeats):
-        elapsed, stats = _run_engine(ExecutionEngine, branches, depth, node_seconds)
-        if elapsed < serial_best:
-            serial_best, serial_stats = elapsed, stats
-        elapsed, stats = _run_engine(
-            ParallelExecutionEngine, branches, depth, node_seconds, max_workers=max_workers
+        for name in executors:
+            elapsed, stats = _run_executor(
+                name, dag_factory, max_workers=None if name == "inline" else max_workers
+            )
+            if elapsed < best[name]:
+                best[name], best_stats[name] = elapsed, stats
+    for name in executors:
+        if name != "inline":
+            assert_equivalent_runs(best_stats["inline"], best_stats[name], include_times=False)
+    result: Dict[str, float] = {"max_workers": max_workers}
+    for name in executors:
+        result[f"{name}_seconds"] = best[name]
+        result[f"{name}_speedup"] = best["inline"] / best[name]
+    return result
+
+
+def _format_executor_comparison(title: str, result: Dict[str, float]) -> str:
+    lines = [title]
+    for name in EXECUTORS:
+        key = f"{name}_seconds"
+        if key not in result:
+            continue
+        lines.append(
+            f"{name:<8}: {result[key]:.3f}s  ({result[f'{name}_speedup']:.2f}x vs inline)"
         )
-        if elapsed < parallel_best:
-            parallel_best, parallel_stats = elapsed, stats
-    assert_equivalent_runs(serial_stats, parallel_stats, include_times=False)
-    return {
-        "nodes": branches * depth + 2,
-        "branches": branches,
-        "max_workers": max_workers,
-        "serial_seconds": serial_best,
-        "parallel_seconds": parallel_best,
-        "speedup": serial_best / parallel_best,
-    }
+    lines.append(f"workers : {int(result['max_workers'])}, cores: {os.cpu_count()}")
+    return "\n".join(lines)
 
 
-def _format_engine_comparison(result: Dict[str, float]) -> str:
-    return "\n".join(
-        [
-            f"wide DAG: {result['branches']} branches, {int(result['nodes'])} nodes",
-            f"serial engine    : {result['serial_seconds']:.3f}s",
-            f"parallel engine  : {result['parallel_seconds']:.3f}s ({int(result['max_workers'])} workers)",
-            f"speedup          : {result['speedup']:.2f}x",
-        ]
+def _latency_comparison(
+    smoke: bool = False, executors: Sequence[str] = EXECUTORS
+) -> Dict[str, float]:
+    branches, depth, node_seconds = (8, 2, 0.01) if smoke else (
+        FIG7C_BRANCHES, FIG7C_DEPTH, FIG7C_NODE_SECONDS
+    )
+    return run_executor_comparison(
+        lambda: make_wide_dag(branches=branches, depth=depth, node_seconds=node_seconds),
+        executors=executors,
     )
 
 
-def test_fig7c_parallel_engine(benchmark):
-    result = run_once(benchmark, run_engine_comparison)
-    emit("Figure 7c — serial vs parallel execution engine on a wide DAG", _format_engine_comparison(result))
+def _cpu_comparison(
+    smoke: bool = False, executors: Sequence[str] = EXECUTORS
+) -> Dict[str, float]:
+    branches, depth, spin = (8, 1, 500_000) if smoke else (
+        FIG7C_BRANCHES, FIG7C_CPU_DEPTH, FIG7C_CPU_SPIN
+    )
+    return run_executor_comparison(
+        lambda: make_cpu_dag(branches=branches, depth=depth, spin=spin),
+        executors=executors,
+    )
+
+
+def _cpu_process_bar(smoke: bool = False) -> Optional[float]:
+    """Process-executor speedup bar on the CPU-bound DAG, or None to skip.
+
+    There is no parallel CPU to win on a single-core machine, so the bar is
+    only enforced where the hardware can express it.
+    """
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        return None
+    if smoke:
+        return 1.2
+    return 2.0 if cores >= 4 else 1.5
+
+
+def test_fig7c_latency_bound_executors(benchmark):
+    result = run_once(benchmark, _latency_comparison)
+    emit(
+        "Figure 7c — executors on a wide latency-bound DAG",
+        _format_executor_comparison("latency-bound (sleeping operators)", result),
+    )
 
     # DAG-level parallelism over latency-bound branches must pay off by >= 2x
     # (the acceptance bar; observed ~3x with 4 workers over 8 branches).
-    assert result["speedup"] >= 2.0
+    assert result["thread_speedup"] >= 2.0
+
+
+def test_fig7c_cpu_bound_executors(benchmark):
+    result = run_once(benchmark, _cpu_comparison)
+    emit(
+        "Figure 7c — executors on a wide CPU-bound DAG",
+        _format_executor_comparison("CPU-bound (pure-Python spin loops)", result),
+    )
+
+    # The GIL caps the thread executor on pure-Python work...
+    assert result["thread_speedup"] < 1.3
+    # ...while the process executor scales with the available cores.
+    bar = _cpu_process_bar()
+    if bar is None:
+        pytest.skip("single-core machine: no parallel CPU to demonstrate scaling on")
+    assert result["process_speedup"] >= bar
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description="Serial-vs-parallel engine comparison (Figure 7c)")
+    parser = argparse.ArgumentParser(
+        description="Inline/thread/process executor comparison (Figure 7c)"
+    )
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="small DAG + relaxed speedup bar; used by CI as a fast sanity check",
+        help="small DAGs + relaxed speedup bars; used by CI as a fast sanity check",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process", "all"),
+        default="all",
+        help="which comparison to run: 'thread' = latency-bound section "
+        "(inline vs thread), 'process' = CPU-bound section (inline vs thread "
+        "vs process), 'all' = both with all three executors",
     )
     args = parser.parse_args(argv)
+    failures = []
 
-    if args.smoke:
-        result = run_engine_comparison(branches=8, depth=2, node_seconds=0.01, repeats=2)
-        bar = 1.5
-    else:
-        result = run_engine_comparison()
-        bar = 2.0
+    if args.executor in ("thread", "all"):
+        # The thread-only section skips the process executor entirely, so its
+        # pass/fail never depends on process-pool infrastructure.
+        executors = EXECUTORS if args.executor == "all" else ("inline", "thread")
+        result = _latency_comparison(smoke=args.smoke, executors=executors)
+        print(_format_executor_comparison("latency-bound (sleeping operators)", result))
+        bar = 1.5 if args.smoke else 2.0
+        if result["thread_speedup"] < bar:
+            failures.append(
+                f"thread speedup {result['thread_speedup']:.2f}x below the {bar:g}x "
+                f"bar on the latency-bound DAG"
+            )
+        else:
+            print(f"OK: thread {result['thread_speedup']:.2f}x >= {bar:g}x (equivalent run statistics)")
 
-    print(_format_engine_comparison(result))
-    if result["speedup"] < bar:
-        print(f"FAIL: speedup {result['speedup']:.2f}x below the {bar:g}x bar", file=sys.stderr)
-        return 1
-    print(f"OK: speedup {result['speedup']:.2f}x >= {bar:g}x (equivalent run statistics)")
-    return 0
+    if args.executor in ("process", "all"):
+        result = _cpu_comparison(smoke=args.smoke)
+        print(_format_executor_comparison("CPU-bound (pure-Python spin loops)", result))
+        if result["thread_speedup"] >= 1.3:
+            failures.append(
+                f"thread speedup {result['thread_speedup']:.2f}x on CPU-bound work — "
+                f"expected < 1.3x (GIL-bound)"
+            )
+        bar = _cpu_process_bar(smoke=args.smoke)
+        if bar is None:
+            print("SKIP: single-core machine, process speedup bar not enforced")
+        elif result["process_speedup"] < bar:
+            failures.append(
+                f"process speedup {result['process_speedup']:.2f}x below the {bar:g}x "
+                f"bar on the CPU-bound DAG"
+            )
+        else:
+            print(f"OK: process {result['process_speedup']:.2f}x >= {bar:g}x (equivalent run statistics)")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

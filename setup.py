@@ -1,16 +1,5 @@
-"""Setup shim for environments without the `wheel` package (legacy editable installs)."""
+"""Setup shim for legacy editable installs; metadata lives in pyproject.toml."""
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="repro",
-    version="0.1.0",
-    description=(
-        "Python reproduction of Helix: Holistic Optimization for Accelerating "
-        "Iterative Machine Learning (VLDB 2018)"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.9",
-    install_requires=["numpy"],
-)
+setup()

@@ -23,6 +23,7 @@ is unchanged.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import inspect
 import json
@@ -34,7 +35,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 
 import numpy as np
 
-from ..exceptions import OperatorError, WorkflowSpecError
+from ..exceptions import ExecutionError, OperatorError, WorkflowSpecError
 from .data import (
     DataCollection,
     ElementKind,
@@ -49,6 +50,7 @@ __all__ = [
     "Component",
     "RunContext",
     "Operator",
+    "ensure_process_safe",
     "DataSource",
     "Scanner",
     "CSVScanner",
@@ -106,19 +108,74 @@ def _callable_token(fn: Callable[..., Any]) -> str:
     The token combines the qualified name, an optional explicit ``_version``
     attribute (which user code can bump to signal a semantic change), and a
     hash of the bytecode when available.  Builtins and C functions fall back
-    to their qualified name only.
+    to their qualified name only.  Callable *instances* (picklable UDF
+    objects, the process-executor-friendly alternative to closures) are
+    identified by their class path, their ``__call__`` bytecode and
+    ``_version``, so editing the method invalidates reuse just like editing
+    a plain function; behaviour-defining *state* still needs a ``_version``
+    bump.
     """
-    parts: List[str] = [getattr(fn, "__qualname__", repr(fn))]
+    if isinstance(fn, functools.partial):
+        # A partial's behaviour is its target plus the bound arguments.
+        bound = json.dumps(
+            [_normalize(list(fn.args)), _normalize(dict(fn.keywords))],
+            sort_keys=True,
+            default=str,
+        )
+        return (
+            f"partial:{_callable_token(fn.func)}:"
+            f"{hashlib.sha256(bound.encode()).hexdigest()[:16]}"
+        )
+    qualname = getattr(fn, "__qualname__", None)
+    code = getattr(fn, "__code__", None)
+    state_digest: Optional[str] = None
+    if qualname is None:
+        call_code = getattr(getattr(type(fn), "__call__", None), "__code__", None)
+        if code is None and call_code is None:
+            # C-implemented callable instance: no bytecode to fingerprint.
+            # Keep the repr fallback (unique per instance) rather than
+            # collapsing distinct configurations onto one class path.
+            return repr(fn)
+        qualname = f"{type(fn).__module__}.{type(fn).__qualname__}"
+        if code is None:
+            code = call_code
+        # Instance state participates so two instances of one class with
+        # different constructor arguments never alias.  Attributes that
+        # _normalize cannot stabilize (arbitrary objects fall back to repr,
+        # which embeds the id) make the token instance-unique — losing reuse
+        # but never serving a stale artifact.  Keep UDF state to scalars and
+        # collections for reuse to work.
+        state = json.dumps(
+            _normalize(_instance_state(fn)), sort_keys=True, default=str
+        )
+        state_digest = hashlib.sha256(state.encode()).hexdigest()[:16]
+    parts: List[str] = [qualname]
+    if state_digest is not None:
+        parts.append(state_digest)
     version = getattr(fn, "_version", None)
     if version is not None:
         parts.append(f"v{version}")
-    code = getattr(fn, "__code__", None)
     if code is not None:
         digest = hashlib.sha256(code.co_code).hexdigest()[:16]
         parts.append(digest)
         consts = tuple(c for c in code.co_consts if isinstance(c, (int, float, str, bool)))
         parts.append(hashlib.sha256(repr(consts).encode()).hexdigest()[:8])
     return ":".join(parts)
+
+
+def _instance_state(obj: Any) -> Dict[str, Any]:
+    """Behaviour-defining attributes of an instance: ``__dict__`` plus slots."""
+    state: Dict[str, Any] = dict(getattr(obj, "__dict__", None) or {})
+    for klass in type(obj).__mro__:
+        slots = getattr(klass, "__slots__", ()) or ()
+        if isinstance(slots, str):
+            slots = (slots,)
+        for slot in slots:
+            if slot in ("__dict__", "__weakref__") or slot in state:
+                continue
+            if hasattr(obj, slot):
+                state[slot] = getattr(obj, slot)
+    return state
 
 
 def _normalize(value: Any) -> Any:
@@ -144,10 +201,35 @@ class Operator(ABC):
     Subclasses implement :meth:`run` (the actual computation) and
     :meth:`config` (the declaration parameters that define the operator's
     behaviour for equivalence checking).
+
+    Execution contract
+    ------------------
+    The executor strategies place two progressively stronger requirements on
+    :meth:`run`:
+
+    * **Thread safety** (thread executor): ``run`` may be invoked
+      concurrently with *other* operators' ``run`` (each node still runs at
+      most once per iteration), so it must not mutate shared global state
+      without synchronizing and must not rely on any ordering beyond its
+      declared DAG edges.
+    * **Process safety** (process executor): ``run`` must additionally be a
+      *pure, picklable* function of ``(inputs, context)`` — the operator and
+      its inputs are serialized to a worker process and only the returned
+      value travels back, so mutations of inputs or of in-process globals are
+      silently lost.  UDF-style configuration must be picklable (module-level
+      functions or callable instances, not closures/lambdas).
     """
 
     #: Which workflow component this operator belongs to.
     component: Component = Component.DPR
+
+    #: Whether this operator may run inside a worker *process*.  The process
+    #: executor validates picklability with a serialize/deserialize round
+    #: trip before dispatching any work (see :func:`ensure_process_safe`);
+    #: set this to ``False`` to opt out explicitly — e.g. an operator that
+    #: would pickle fine but depends on shared in-process state (open
+    #: handles, module-level caches it mutates, monkeypatched hooks).
+    supports_processes: bool = True
 
     #: Deterministic operators compute identical results on identical inputs.
     #: Non-deterministic operators (e.g. a freshly seeded random featurizer)
@@ -193,6 +275,41 @@ class Operator(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.config()})"
+
+
+def ensure_process_safe(operator: Operator, node_name: Optional[str] = None) -> None:
+    """Validate that ``operator`` can run on a process-pool executor.
+
+    Checks the :attr:`Operator.supports_processes` capability flag, then
+    performs a full ``serialize``/``deserialize`` round trip of the operator
+    (the same codec the engine uses to ship task payloads), raising a clear
+    :class:`~repro.exceptions.ExecutionError` that names the node and
+    operator class when either check fails.  The process executor calls this
+    for every COMPUTE node *before* dispatching any work, so a non-picklable
+    workflow fails fast instead of mid-run.
+    """
+    label = (
+        f"node {node_name!r} ({type(operator).__name__})"
+        if node_name is not None
+        else f"operator {type(operator).__name__}"
+    )
+    if not getattr(operator, "supports_processes", True):
+        raise ExecutionError(
+            f"{label} declares supports_processes=False and cannot run on the "
+            f"process executor; run this workflow on the inline or thread executor"
+        )
+    # Imported here: storage.serialization is dependency-free, but importing it
+    # at module load would invert the core -> storage layering.
+    from ..storage.serialization import deserialize, serialize
+
+    try:
+        deserialize(serialize(operator))
+    except Exception as exc:
+        raise ExecutionError(
+            f"{label} is not picklable and cannot run on the process executor: "
+            f"{exc}; move UDFs to module level (functions or callable classes) "
+            f"or set supports_processes=False to fail fast"
+        ) from exc
 
 
 # ---------------------------------------------------------------------------

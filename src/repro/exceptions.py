@@ -47,12 +47,19 @@ class OperatorError(ExecutionError):
     """Raised when a single operator fails while running.
 
     The original exception is preserved as ``__cause__`` and the failing node
-    name is stored on :attr:`node_name`.
+    name is stored on :attr:`node_name`.  Instances pickle round-trip cleanly
+    (``__reduce__``), so a failure inside a process-pool worker surfaces in
+    the coordinating process as the same typed error (the cause chain and
+    traceback do not cross the process boundary).
     """
 
     def __init__(self, node_name: str, message: str):
         super().__init__(f"operator '{node_name}' failed: {message}")
         self.node_name = node_name
+        self.message = message
+
+    def __reduce__(self):
+        return (type(self), (self.node_name, self.message))
 
 
 class StorageError(HelixError):

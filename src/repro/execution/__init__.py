@@ -1,17 +1,43 @@
-"""Execution engines (serial and parallel), caches, cost models and run statistics."""
+"""Execution engine, executor strategies, caches, cost models and run statistics.
+
+The engine (:class:`ExecutionEngine`) owns the lifecycle — scheduling,
+cache/scope refcounting, deterministic retirement commits, stats — and
+delegates task dispatch to a pluggable :class:`Executor` strategy:
+``"inline"`` (reference), ``"thread"`` (latency-bound parallelism) or
+``"process"`` (CPU-bound parallelism across the GIL).  The legacy
+serial/parallel engine API from PR 2 remains available as deprecated shims
+(:class:`ParallelExecutionEngine`, the ``"serial"``/``"parallel"`` name
+aliases).
+"""
 
 from .cache import CacheEntry, EagerCache, LRUCache, OperatorCache
 from .clock import ClusterModel, CostModel, MeasuredCostModel, SimulatedCostModel
-from .engine import ExecutionEngine
+from .engine import ExecutionEngine, create_engine
 from .equivalence import (
+    ExecutorRig,
     assert_equivalent_runs,
+    assert_executor_matrix_equivalent,
+    assert_executors_equivalent,
     canonical_run,
     compare_runs,
+    run_executor_matrix,
     run_signature,
     stats_store_snapshot,
     store_snapshot,
 )
-from .parallel import ENGINE_NAMES, ParallelExecutionEngine, create_engine, default_max_workers
+from .executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    InlineExecutor,
+    LEGACY_ENGINE_ALIASES,
+    ProcessExecutor,
+    ThreadExecutor,
+    create_executor,
+    default_max_workers,
+    default_process_workers,
+    resolve_executor_name,
+)
+from .parallel import ENGINE_NAMES, ParallelExecutionEngine
 from .tracker import MemoryTracker, RunStats
 
 __all__ = [
@@ -24,10 +50,19 @@ __all__ = [
     "MeasuredCostModel",
     "SimulatedCostModel",
     "ExecutionEngine",
+    "create_engine",
+    "Executor",
+    "InlineExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "EXECUTOR_NAMES",
+    "LEGACY_ENGINE_ALIASES",
+    "create_executor",
+    "resolve_executor_name",
+    "default_max_workers",
+    "default_process_workers",
     "ParallelExecutionEngine",
     "ENGINE_NAMES",
-    "create_engine",
-    "default_max_workers",
     "MemoryTracker",
     "RunStats",
     "assert_equivalent_runs",
@@ -36,4 +71,8 @@ __all__ = [
     "run_signature",
     "stats_store_snapshot",
     "store_snapshot",
+    "ExecutorRig",
+    "run_executor_matrix",
+    "assert_executor_matrix_equivalent",
+    "assert_executors_equivalent",
 ]

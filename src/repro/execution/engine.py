@@ -1,14 +1,16 @@
 """The execution engine: carries out the physical plan produced by the optimizer.
 
-The engine walks the optimized DAG in topological order and, for every node
-that is not pruned, either loads its value from the materialization store or
-computes it from its (cached) parent values.  While executing it
+One :class:`ExecutionEngine` lifecycle serves every executor strategy.  The
+engine walks the optimized DAG with an event-driven scheduler: every node
+whose parents have resolved is dispatched onto the configured
+:class:`~repro.execution.executors.Executor` (``"inline"``, ``"thread"`` or
+``"process"``), and completions drive further dispatch.  While executing it
 
 * charges per-node times according to the configured :class:`CostModel`,
 * evicts nodes from the in-memory cache as soon as they go out of scope
   (Section 5.4, cache pruning) — scope is tracked with per-entry reference
-  counts (one per still-outstanding consumer) rather than positions in the
-  serial walk, so the same retirement machinery serves the parallel engine,
+  counts (one per still-outstanding consumer), so the same retirement
+  machinery serves every executor, concurrent or not,
 * at the eviction point asks the :class:`MaterializationPolicy` whether the
   node should be persisted (the streaming OPT-MAT-PLAN decision), always
   persisting mandatory outputs,
@@ -17,33 +19,84 @@ computes it from its (cached) parent values.  While executing it
   estimates, and
 * tracks memory usage for the Figure 10 experiment.
 
-:class:`ExecutionEngine` executes the plan serially; its subclass
-:class:`~repro.execution.parallel.ParallelExecutionEngine` dispatches ready
-nodes onto a thread pool while producing the same run statistics.
+Equivalence contract
+--------------------
+All executors produce the *same run statistics* (outputs, node states,
+charged node/component times under a deterministic cost model,
+materialization decisions and materialized-node sets); only wall-clock and
+the memory-residency profile may differ.  Two mechanisms guarantee this:
+
+* **Reference-counted scope tracking** — a cached value is retired only
+  after all of its executing consumers completed, so an operator can never
+  observe a missing input regardless of completion order.
+* **Deterministic retirement commits** — out-of-scope nodes are *committed*
+  (streaming materialization decision, store write, eviction) by the
+  scheduler in a fixed order: sorted by out-of-scope position in the
+  topological order, then by name.  Because the streaming policy's
+  cumulative run time (Definition 6) reads only the node's *ancestors* —
+  which have necessarily completed — and the storage-budget sequence is
+  fixed by the commit order, every decision matches bit for bit across
+  executors.
+
+The contract is checkable with the harness in
+:mod:`repro.execution.equivalence` and enforced by
+``tests/test_engine_parallel.py`` over randomly generated DAGs.
+
+Out-of-process execution
+------------------------
+With the process executor, COMPUTE tasks are shipped to workers as
+serialized ``(node_name, operator, inputs, context)`` payloads
+(:mod:`repro.storage.serialization`); the worker returns the value plus its
+measured compute seconds, and the engine applies the cost model on receipt
+so charged times follow the same code path as in-process execution.  LOAD
+tasks, cache bookkeeping, retirement commits and stats recording never leave
+the coordinating process.  Every COMPUTE operator is validated for process
+safety (picklability round trip + :attr:`Operator.supports_processes`)
+before any work is dispatched.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
+import warnings
+from functools import partial
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.dag import WorkflowDAG
-from ..core.operators import RunContext
+from ..core.operators import RunContext, ensure_process_safe
 from ..exceptions import BudgetExceededError, ExecutionError, OperatorError
 from ..optimizer.metrics import StatsStore
 from ..optimizer.oep import ExecutionPlan, NodeState
 from ..optimizer.omp import MaterializationPolicy, NeverMaterialize
-from ..storage.serialization import estimate_size_bytes
+from ..optimizer.pruning import out_of_scope_after
+from ..storage.serialization import estimate_size_bytes, serialize
 from ..storage.store import MaterializationStore
 from .cache import EagerCache, OperatorCache
 from .clock import CostModel, MeasuredCostModel
+from .executors import Executor, ExecutorSpec, create_executor, resolve_executor_name
 from .tracker import MemoryTracker, RunStats
 
-__all__ = ["ExecutionEngine"]
+__all__ = ["ExecutionEngine", "create_engine"]
+
+#: Node signatures (class + configuration content hashes) already proven
+#: process-safe, kept module-global because systems build a *fresh engine per
+#: iteration*: the memo makes a multi-iteration lifecycle pay the validation
+#: pickle round trip once per distinct operator configuration per process,
+#: not once per iteration.  Bounded by a cap as a leak backstop.
+_PROCESS_SAFE_SIGNATURES: Set[str] = set()
+_PROCESS_SAFE_SIGNATURES_CAP = 50_000
 
 
 class ExecutionEngine:
-    """Executes physical plans against a store, cache and cost model."""
+    """Executes physical plans against a store, cache and cost model.
+
+    ``executor`` selects the task-dispatch strategy (``"inline"`` — the
+    default reference strategy, ``"thread"``, ``"process"``, a custom
+    :class:`Executor` subclass, or a ready instance; the deprecated engine
+    names ``"serial"``/``"parallel"`` are accepted as aliases).
+    ``max_workers`` bounds the worker pool for the thread/process strategies.
+    """
 
     def __init__(
         self,
@@ -54,6 +107,8 @@ class ExecutionEngine:
         cache: Optional[OperatorCache] = None,
         context: Optional[RunContext] = None,
         materialize_outputs: bool = True,
+        executor: ExecutorSpec = "inline",
+        max_workers: Optional[int] = None,
     ):
         self.store = store
         self.policy = policy if policy is not None else NeverMaterialize()
@@ -62,6 +117,12 @@ class ExecutionEngine:
         self.cache = cache if cache is not None else EagerCache()
         self.context = context if context is not None else RunContext()
         self.materialize_outputs = materialize_outputs
+        self.max_workers = int(max_workers) if max_workers is not None else None
+        self.executor = resolve_executor_name(executor) if isinstance(executor, str) else executor
+        # Fail at construction, not first execute: executor constructors
+        # validate max_workers, and create_executor rejects combining an
+        # instance with max_workers (pools are lazy, so this builds nothing).
+        create_executor(self.executor, max_workers=self.max_workers)
 
     # ------------------------------------------------------------------ public
     def execute(
@@ -78,37 +139,175 @@ class ExecutionEngine:
         stats = self._new_run_stats(dag, plan, iteration)
 
         order = self._execution_order(dag, plan)
-        executing = set(order)
+        if not order:
+            return self._finalize_run(stats, memory)
+        executing: Set[str] = set(order)
         consumers = self._consumer_counts(dag, executing)
+        pending_parents = {
+            name: len({p for p in dag.node(name).parents if p in executing})
+            for name in order
+        }
 
-        for name in order:
-            node = dag.node(name)
-            value, charged = self._run_node(dag, name, plan.states[name], signatures[name])
-            size_bytes = estimate_size_bytes(value)
-            self.cache.put(name, value, size_bytes)
-            self.cache.set_consumers(name, consumers[name])
-            stats.node_times[name] = charged
-            stats.node_sizes[name] = size_bytes
-            component = node.component.value
-            stats.component_times[component] = stats.component_times.get(component, 0.0) + charged
-            if node.is_output:
-                stats.outputs[name] = value
-            memory.snapshot(self.cache.snapshot_bytes())
+        # The reference retirement sequence: out-of-scope position in the
+        # topological order, ties broken by name.  Commits follow this order
+        # exactly, whatever the executor (see module docstring).
+        scope = out_of_scope_after(dag, order)
+        retirement_order = sorted(order, key=lambda n: (scope[n], n))
+        retire_index = 0
+        out_of_scope: Set[str] = set()
 
-            # Reference-count bookkeeping: this node consumed each of its
-            # executing parents once, and is itself out of scope immediately
-            # when it has no executing consumers.
-            out_of_scope: List[str] = []
-            if consumers[name] == 0:
-                out_of_scope.append(name)
-            for parent in {p for p in node.parents if p in executing}:
-                if self.cache.release(parent):
-                    out_of_scope.append(parent)
-            for retired in sorted(out_of_scope):
-                self._retire_node(dag, retired, signatures[retired], stats, iteration)
+        completed: Set[str] = set()
+        failure: Optional[BaseException] = None
+
+        executor = self._build_executor()
+        if executor.out_of_process:
+            self._validate_process_plan(dag, plan, order, signatures)
+        # Input sizes of shipped COMPUTE tasks, kept scheduler-side so the
+        # cost model can be applied when the worker's reply arrives.
+        shipped_input_sizes: Dict[str, List[int]] = {}
+
+        # Ready nodes, dispatched in topological order (a heap of positions).
+        # Pool executors drain the whole frontier to keep workers busy;
+        # synchronous executors take one task at a time so each value is
+        # cached and retired before the next task runs — exactly the serial
+        # reference walk, with its bounded memory profile.
+        topo_position = {name: index for index, name in enumerate(order)}
+        ready: List[int] = [topo_position[n] for n in order if pending_parents[n] == 0]
+        heapq.heapify(ready)
+        in_flight = 0
+
+        def dispatch_ready() -> None:
+            nonlocal in_flight
+            while ready and not (executor.synchronous and in_flight > 0):
+                name = order[heapq.heappop(ready)]
+                self._dispatch(executor, dag, plan, signatures, name, shipped_input_sizes)
+                in_flight += 1
+
+        try:
+            executor.start()
+            dispatch_ready()
+            while len(completed) < len(order):
+                name, outcome, error = executor.next_completion()
+                in_flight -= 1
+                if error is not None:
+                    failure = error
+                    break
+                value, charged = self._charged_result(dag, name, outcome, shipped_input_sizes)
+
+                node = dag.node(name)
+                size_bytes = estimate_size_bytes(value)
+                self.cache.put(name, value, size_bytes)
+                self.cache.set_consumers(name, consumers[name])
+                stats.node_times[name] = charged
+                stats.node_sizes[name] = size_bytes
+                if node.is_output:
+                    stats.outputs[name] = value
+                completed.add(name)
                 memory.snapshot(self.cache.snapshot_bytes())
 
+                # Reference-count bookkeeping: this node consumed each of its
+                # executing parents once, and is itself out of scope
+                # immediately when it has no executing consumers.
+                if consumers[name] == 0:
+                    out_of_scope.add(name)
+                for parent in {p for p in node.parents if p in executing}:
+                    if self.cache.release(parent):
+                        out_of_scope.add(parent)
+
+                for child in {c for c in dag.children(name) if c in executing}:
+                    pending_parents[child] -= 1
+                    if pending_parents[child] == 0:
+                        heapq.heappush(ready, topo_position[child])
+
+                while (
+                    retire_index < len(retirement_order)
+                    and retirement_order[retire_index] in out_of_scope
+                ):
+                    retired = retirement_order[retire_index]
+                    self._retire_node(dag, retired, signatures[retired], stats, iteration)
+                    memory.snapshot(self.cache.snapshot_bytes())
+                    retire_index += 1
+
+                dispatch_ready()
+        except BaseException:
+            self.cache.clear()
+            raise
+        finally:
+            # On failure this cancels every not-yet-started task and waits
+            # for in-flight operators to drain before surfacing the error.
+            # A user-supplied instance keeps its pools alive (the caller
+            # amortizes pool startup across executes and owns shutdown());
+            # engine-built executors are released entirely.
+            if isinstance(self.executor, Executor):
+                executor.finish_run(cancel=True)
+            else:
+                executor.shutdown(cancel=True)
+
+        if failure is not None:
+            self.cache.clear()
+            raise failure
+
+        self._restore_deterministic_order(dag, stats, order)
         return self._finalize_run(stats, memory)
+
+    # ------------------------------------------------------------------ dispatch
+    def _build_executor(self) -> Executor:
+        """The executor for one ``execute`` call (fresh unless instance-configured)."""
+        return create_executor(self.executor, max_workers=self.max_workers)
+
+    def _dispatch(
+        self,
+        executor: Executor,
+        dag: WorkflowDAG,
+        plan: ExecutionPlan,
+        signatures: Mapping[str, str],
+        name: str,
+        shipped_input_sizes: Dict[str, List[int]],
+    ) -> None:
+        """Hand one ready node to the executor."""
+        state = plan.states[name]
+        if executor.out_of_process and state is NodeState.COMPUTE:
+            payload, input_sizes = self._build_process_payload(dag, name)
+            shipped_input_sizes[name] = input_sizes
+            executor.submit_payload(name, payload)
+            return
+        executor.submit(name, partial(self._run_node, dag, name, state, signatures[name]))
+
+    def _build_process_payload(self, dag: WorkflowDAG, name: str) -> Tuple[bytes, List[int]]:
+        """Serialize one COMPUTE task for an out-of-process worker."""
+        inputs, input_sizes = self._gather_inputs(dag, name)
+        try:
+            payload = serialize((name, dag.node(name).operator, inputs, self.context))
+        except Exception as exc:  # noqa: BLE001 - unpicklable inputs/operator
+            raise ExecutionError(
+                f"cannot ship node {name!r} to a worker process: its operator or "
+                f"inputs failed to serialize: {exc}"
+            ) from exc
+        return payload, input_sizes
+
+    def _charged_result(
+        self,
+        dag: WorkflowDAG,
+        name: str,
+        outcome: Any,
+        shipped_input_sizes: Dict[str, List[int]],
+    ) -> Tuple[Any, float]:
+        """Charge one completion.
+
+        In-process outcomes are already ``(value, charged)``; out-of-process
+        COMPUTE outcomes are ``(value, measured_seconds)`` and the cost model
+        is applied here, on the scheduler, so charging is identical across
+        executors.
+        """
+        if name in shipped_input_sizes:
+            input_sizes = shipped_input_sizes.pop(name)
+            value, measured = outcome
+            node = dag.node(name)
+            charged = self.cost_model.compute_cost(
+                node.operator, node.component, input_sizes, measured
+            )
+            return value, charged
+        return outcome
 
     # ------------------------------------------------------------------ helpers
     def _new_run_stats(self, dag: WorkflowDAG, plan: ExecutionPlan, iteration: int) -> RunStats:
@@ -132,6 +331,31 @@ class ExecutionEngine:
             name: len({child for child in dag.children(name) if child in executing})
             for name in executing
         }
+
+    @staticmethod
+    def _restore_deterministic_order(
+        dag: WorkflowDAG, stats: RunStats, order: List[str]
+    ) -> None:
+        """Rebuild completion-ordered mappings in topological order.
+
+        Nodes may complete in a nondeterministic order, so ``node_times``,
+        ``node_sizes`` and ``outputs`` are re-keyed to the topological
+        iteration order, and ``component_times`` is accumulated in that order
+        so even the floating-point summation sequence is identical across
+        executors.
+        """
+        stats.node_times = {name: stats.node_times[name] for name in order}
+        stats.node_sizes = {name: stats.node_sizes[name] for name in order}
+        stats.outputs = {
+            name: stats.outputs[name] for name in order if name in stats.outputs
+        }
+        component_times: Dict[str, float] = {}
+        for name in order:
+            component = dag.node(name).component.value
+            component_times[component] = (
+                component_times.get(component, 0.0) + stats.node_times[name]
+            )
+        stats.component_times = component_times
 
     def _finalize_run(self, stats: RunStats, memory: MemoryTracker) -> RunStats:
         self.cache.clear()
@@ -159,6 +383,31 @@ class ExecutionEngine:
                             f"infeasible plan: {name!r} is computed but parent {parent!r} is pruned"
                         )
 
+    def _validate_process_plan(
+        self,
+        dag: WorkflowDAG,
+        plan: ExecutionPlan,
+        order: Sequence[str],
+        signatures: Mapping[str, str],
+    ) -> None:
+        """Every COMPUTE node must be process-safe before any work starts.
+
+        Validation is memoized per node signature (module-global, since
+        systems rebuild the engine per iteration), so multi-iteration
+        lifecycles pay the pickle round trip once per distinct operator
+        configuration rather than once per iteration.
+        """
+        for name in order:
+            if plan.states[name] is not NodeState.COMPUTE:
+                continue
+            signature = signatures[name]
+            if signature in _PROCESS_SAFE_SIGNATURES:
+                continue
+            ensure_process_safe(dag.node(name).operator, node_name=name)
+            if len(_PROCESS_SAFE_SIGNATURES) >= _PROCESS_SAFE_SIGNATURES_CAP:
+                _PROCESS_SAFE_SIGNATURES.clear()
+            _PROCESS_SAFE_SIGNATURES.add(signature)
+
     def _run_node(
         self, dag: WorkflowDAG, name: str, state: NodeState, signature: str
     ) -> Tuple[Any, float]:
@@ -179,7 +428,8 @@ class ExecutionEngine:
         self.stats.record(signature, load_time=charged, storage_bytes=size_bytes)
         return value, charged
 
-    def _compute_node(self, dag: WorkflowDAG, name: str) -> Tuple[Any, float]:
+    def _gather_inputs(self, dag: WorkflowDAG, name: str) -> Tuple[List[Any], List[int]]:
+        """Collect a node's cached input values and their estimated sizes."""
         node = dag.node(name)
         inputs: List[Any] = []
         input_sizes: List[int] = []
@@ -193,6 +443,11 @@ class ExecutionEngine:
             value = self.cache.get(parent)
             inputs.append(value)
             input_sizes.append(estimate_size_bytes(value))
+        return inputs, input_sizes
+
+    def _compute_node(self, dag: WorkflowDAG, name: str) -> Tuple[Any, float]:
+        node = dag.node(name)
+        inputs, input_sizes = self._gather_inputs(dag, name)
         started = time.perf_counter()
         try:
             value = node.operator.run(inputs, self.context)
@@ -257,3 +512,37 @@ class ExecutionEngine:
             load_time=self.cost_model.estimate_io_cost(artifact.record.size_bytes),
             storage_bytes=artifact.record.size_bytes,
         )
+
+
+def create_engine(
+    executor: Optional[ExecutorSpec] = None,
+    *,
+    engine: Optional[str] = None,
+    max_workers: Optional[int] = None,
+    **kwargs,
+) -> ExecutionEngine:
+    """Build an execution engine for an executor strategy.
+
+    ``executor`` is ``"inline"`` (default), ``"thread"``, ``"process"``, an
+    :class:`Executor` subclass, or an instance.  ``max_workers`` only applies
+    to pool-backed strategies; remaining keyword arguments are forwarded to
+    :class:`ExecutionEngine`.
+
+    .. deprecated::
+        The ``engine`` keyword and the engine names ``"serial"``/``"parallel"``
+        (aliases for ``"inline"``/``"thread"``) are retained from the PR 2
+        serial/parallel split for backwards compatibility; the explicit
+        keyword warns.
+    """
+    if executor is None:
+        if engine is not None:
+            warnings.warn(
+                "create_engine(engine=...) is deprecated; use the executor "
+                'argument ("serial" -> "inline", "parallel" -> "thread")',
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            executor = engine
+        else:
+            executor = "inline"
+    return ExecutionEngine(executor=executor, max_workers=max_workers, **kwargs)

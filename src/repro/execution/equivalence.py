@@ -1,19 +1,20 @@
-"""Engine-equivalence harness: compare runs across execution engines.
+"""Engine-equivalence harness: compare runs across executor strategies.
 
-The parallel engine's contract is that it produces the same
-:class:`~repro.execution.tracker.RunStats` as the serial engine — outputs,
-node states, charged times under a deterministic cost model, materialization
-decisions, materialized-node sets and recorded statistics — with only
-wall-clock and memory-residency free to differ.  This module turns that
-contract into checkable artifacts:
+The execution engine's contract is that every executor strategy (inline,
+thread, process) produces the same
+:class:`~repro.execution.tracker.RunStats` — outputs, node states, charged
+times under a deterministic cost model, materialization decisions,
+materialized-node sets and recorded statistics — with only wall-clock and
+memory-residency free to differ.  This module turns that contract into
+checkable artifacts:
 
 * :func:`canonical_run` — a JSON-serializable canonical form of a
   :class:`RunStats`, with outputs reduced to content digests and the
   timing-dependent fields optional.
 * :func:`run_signature` — a SHA-256 over the canonical form; two runs with
   equal signatures are byte-identical under the chosen comparison.  Used by
-  the determinism tests (repeated parallel runs at different ``max_workers``
-  must produce identical signatures).
+  the determinism tests (repeated runs at different ``max_workers`` and on
+  different executors must produce identical signatures).
 * :func:`compare_runs` / :func:`assert_equivalent_runs` — field-by-field
   comparison with readable mismatch reports, used by the equivalence suite
   over randomly generated DAGs.
@@ -21,22 +22,43 @@ contract into checkable artifacts:
   the cross-iteration :class:`StatsStore` and the
   :class:`MaterializationStore` catalog, so tests can also assert that two
   engines leave identical *persistent* state behind.
+* :class:`ExecutorRig`, :func:`run_executor_matrix`,
+  :func:`assert_executors_equivalent` — a ready-made driver that runs the
+  canonical two-iteration lifecycle (compute-everything, then a mixed
+  LOAD/COMPUTE/PRUNE re-plan) on every executor strategy and asserts the
+  full matrix is equivalent to the inline reference, persistent state
+  included.
 
 Memory statistics (``peak_memory_bytes`` / ``average_memory_bytes``) are
-intentionally excluded: the parallel engine legitimately holds more values
-in memory at once, so residency profiles differ between engines and worker
-counts.
+intentionally excluded: concurrent executors legitimately hold more values
+in memory at once, so residency profiles differ between strategies and
+worker counts.
+
+Exact *serialized* artifact sizes (``storage_bytes``) are representation-
+dependent: pickling memoizes shared sub-objects by identity, and a value
+that crossed a process boundary can re-pickle a few bytes larger or smaller
+than its in-process twin with identical logical content.  Synthetic DAGs
+(scalar values) are unaffected; for real workloads compared across the
+process executor, pass ``include_storage=False`` (the estimated
+``node_sizes``, which feed the cost model, always participate and always
+match).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..core.operators import RunContext
+from ..core.signatures import compute_node_signatures
 from ..optimizer.metrics import StatsStore
+from ..optimizer.oep import ExecutionPlan, solve_oep
+from ..optimizer.omp import MaterializationPolicy, StreamingMaterializationPolicy
 from ..storage.serialization import serialize
-from ..storage.store import MaterializationStore
+from ..storage.store import InMemoryStore, MaterializationStore
+from .clock import SimulatedCostModel
+from .executors import EXECUTOR_NAMES
 from .tracker import RunStats
 
 __all__ = [
@@ -46,6 +68,10 @@ __all__ = [
     "assert_equivalent_runs",
     "stats_store_snapshot",
     "store_snapshot",
+    "ExecutorRig",
+    "run_executor_matrix",
+    "assert_executor_matrix_equivalent",
+    "assert_executors_equivalent",
 ]
 
 
@@ -59,13 +85,17 @@ def _float_token(value: float) -> str:
     return repr(float(value))
 
 
-def canonical_run(stats: RunStats, include_times: bool = True) -> Dict[str, Any]:
+def canonical_run(
+    stats: RunStats, include_times: bool = True, include_storage: bool = True
+) -> Dict[str, Any]:
     """A canonical, JSON-serializable view of one iteration's run statistics.
 
     ``include_times`` controls whether charged times (node, component,
     materialization) and the decision thresholds participate.  Set it to
     ``False`` when comparing runs executed under a wall-clock cost model,
-    where charged times are legitimately noisy.
+    where charged times are legitimately noisy.  ``include_storage`` controls
+    the exact serialized store size (see the module docstring for why it may
+    differ across a process boundary).
     """
     canonical: Dict[str, Any] = {
         "workflow": stats.workflow_name,
@@ -80,8 +110,9 @@ def canonical_run(stats: RunStats, include_times: bool = True) -> Dict[str, Any]
             {"node": decision.node, "materialize": bool(decision.materialize)}
             for decision in stats.decisions
         ],
-        "storage_bytes": int(stats.storage_bytes),
     }
+    if include_storage:
+        canonical["storage_bytes"] = int(stats.storage_bytes)
     if include_times:
         canonical["node_times"] = {
             name: _float_token(charged) for name, charged in sorted(stats.node_times.items())
@@ -110,14 +141,19 @@ def run_signature(stats: RunStats, include_times: bool = True) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def stats_store_snapshot(stats: StatsStore, include_times: bool = True) -> Dict[str, Any]:
-    """Canonical view of a :class:`StatsStore`'s per-signature metrics."""
+def stats_store_snapshot(
+    stats: StatsStore, include_times: bool = True, include_storage: bool = True
+) -> Dict[str, Any]:
+    """Canonical view of a :class:`StatsStore`'s per-signature metrics.
+
+    ``include_storage`` excludes the exact recorded byte sizes, which are
+    representation-dependent across a process boundary (module docstring).
+    """
     snapshot: Dict[str, Any] = {}
     for signature, metrics in stats.items():
-        entry: Dict[str, Any] = {
-            "observations": metrics.observations,
-            "storage_bytes": metrics.storage_bytes,
-        }
+        entry: Dict[str, Any] = {"observations": metrics.observations}
+        if include_storage:
+            entry["storage_bytes"] = metrics.storage_bytes
         if include_times:
             entry["compute_time"] = _float_token(metrics.compute_time)
             entry["load_time"] = _float_token(metrics.load_time)
@@ -125,10 +161,21 @@ def stats_store_snapshot(stats: StatsStore, include_times: bool = True) -> Dict[
     return snapshot
 
 
-def store_snapshot(store: MaterializationStore) -> Dict[str, Any]:
-    """Canonical view of a materialization store's catalog (what is persisted)."""
+def store_snapshot(
+    store: MaterializationStore, include_sizes: bool = True
+) -> Dict[str, Any]:
+    """Canonical view of a materialization store's catalog (what is persisted).
+
+    ``include_sizes`` excludes the exact serialized artifact sizes, which are
+    representation-dependent across a process boundary (module docstring);
+    *which* nodes are persisted always participates.
+    """
     return {
-        record.signature: {"node": record.node_name, "size_bytes": record.size_bytes}
+        record.signature: (
+            {"node": record.node_name, "size_bytes": record.size_bytes}
+            if include_sizes
+            else {"node": record.node_name}
+        )
         for record in store.artifacts()
     }
 
@@ -137,11 +184,12 @@ def compare_runs(
     reference: RunStats,
     candidate: RunStats,
     include_times: bool = True,
+    include_storage: bool = True,
 ) -> List[str]:
     """Field-by-field comparison; returns human-readable mismatch descriptions."""
     mismatches: List[str] = []
-    left = canonical_run(reference, include_times=include_times)
-    right = canonical_run(candidate, include_times=include_times)
+    left = canonical_run(reference, include_times=include_times, include_storage=include_storage)
+    right = canonical_run(candidate, include_times=include_times, include_storage=include_storage)
     for key in left:
         if left[key] != right[key]:
             mismatches.append(
@@ -154,6 +202,7 @@ def assert_equivalent_runs(
     reference: RunStats,
     candidate: RunStats,
     include_times: bool = True,
+    include_storage: bool = True,
     reference_stats: Optional[StatsStore] = None,
     candidate_stats: Optional[StatsStore] = None,
     reference_store: Optional[MaterializationStore] = None,
@@ -165,15 +214,21 @@ def assert_equivalent_runs(
     engines' :class:`StatsStore` and :class:`MaterializationStore` instances
     to extend the check to cross-iteration state.
     """
-    mismatches = compare_runs(reference, candidate, include_times=include_times)
+    mismatches = compare_runs(
+        reference, candidate, include_times=include_times, include_storage=include_storage
+    )
     if reference_stats is not None and candidate_stats is not None:
-        left = stats_store_snapshot(reference_stats, include_times=include_times)
-        right = stats_store_snapshot(candidate_stats, include_times=include_times)
+        left = stats_store_snapshot(
+            reference_stats, include_times=include_times, include_storage=include_storage
+        )
+        right = stats_store_snapshot(
+            candidate_stats, include_times=include_times, include_storage=include_storage
+        )
         if left != right:
             mismatches.append(f"stats_store: reference={_compact(left)} candidate={_compact(right)}")
     if reference_store is not None and candidate_store is not None:
-        left = store_snapshot(reference_store)
-        right = store_snapshot(candidate_store)
+        left = store_snapshot(reference_store, include_sizes=include_storage)
+        right = store_snapshot(candidate_store, include_sizes=include_storage)
         if left != right:
             mismatches.append(f"materialization_store: reference={_compact(left)} candidate={_compact(right)}")
     if mismatches:
@@ -185,3 +240,154 @@ def assert_equivalent_runs(
 def _compact(value: Any, limit: int = 300) -> str:
     text = json.dumps(value, sort_keys=True, default=str)
     return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+# ---------------------------------------------------------------------------
+# Executor-matrix driver
+# ---------------------------------------------------------------------------
+_INF = float("inf")
+
+#: One rig's two-iteration record: (plan0, stats0, plan1, stats1).
+MatrixRun = Tuple[ExecutionPlan, RunStats, ExecutionPlan, RunStats]
+
+
+class ExecutorRig:
+    """One executor strategy with its own store/stats, driven through plan+execute.
+
+    The rig owns a fresh :class:`InMemoryStore` and :class:`StatsStore` and a
+    deterministic :class:`SimulatedCostModel`, so charged times are
+    comparable bit-for-bit across strategies.  ``executor`` accepts the
+    canonical names (``"inline"``/``"thread"``/``"process"``) as well as the
+    legacy aliases (``"serial"``/``"parallel"``).
+    """
+
+    def __init__(
+        self,
+        executor: str = "inline",
+        policy: Optional[MaterializationPolicy] = None,
+        budget_bytes: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        seed: int = 0,
+    ):
+        from .engine import create_engine
+
+        self.store = InMemoryStore(budget_bytes=budget_bytes)
+        self.stats_store = StatsStore()
+        self.engine = create_engine(
+            executor,
+            max_workers=max_workers,
+            store=self.store,
+            policy=policy if policy is not None else StreamingMaterializationPolicy(),
+            cost_model=SimulatedCostModel(),
+            stats=self.stats_store,
+            context=RunContext(seed=seed),
+        )
+
+    def run(
+        self,
+        dag,
+        signatures: Optional[Dict[str, str]] = None,
+        forced: Sequence[str] = (),
+        iteration: int = 0,
+    ) -> Tuple[ExecutionPlan, RunStats]:
+        """Solve an OEP plan (loads allowed where the store has artifacts) and execute it."""
+        if signatures is None:
+            signatures = compute_node_signatures(dag)
+        compute_time = {name: 1.0 for name in dag.node_names}
+        load_time = {
+            name: (0.01 if self.store.has(signatures[name]) else _INF)
+            for name in dag.node_names
+        }
+        plan = solve_oep(dag, compute_time, load_time, forced_compute=forced)
+        return plan, self.engine.execute(dag, plan, signatures, iteration=iteration)
+
+
+def run_executor_matrix(
+    dag,
+    executors: Sequence[str] = EXECUTOR_NAMES,
+    policy_factory=StreamingMaterializationPolicy,
+    budget_bytes: Optional[int] = None,
+    max_workers: int = 4,
+    forced_second: Optional[Sequence[str]] = None,
+) -> Tuple[Dict[str, ExecutorRig], Dict[str, MatrixRun]]:
+    """Drive every executor through the canonical two-iteration lifecycle.
+
+    Iteration 0 computes everything (and materializes per policy); iteration
+    1 re-plans against the now-populated store with a deterministic forced
+    subset, producing a LOAD/COMPUTE/PRUNE mix.  Returns the rigs and the
+    per-executor :data:`MatrixRun` records, keyed by executor name.
+    """
+    signatures = compute_node_signatures(dag)
+    if forced_second is None:
+        forced_second = sorted(dag.node_names)[:: max(1, len(dag) // 3)]
+    rigs: Dict[str, ExecutorRig] = {}
+    runs: Dict[str, MatrixRun] = {}
+    for spec in executors:
+        rig = ExecutorRig(
+            spec,
+            policy=policy_factory(),
+            budget_bytes=budget_bytes,
+            max_workers=None if spec in ("inline", "serial") else max_workers,
+        )
+        plan0, stats0 = rig.run(dag, signatures, forced=dag.node_names, iteration=0)
+        plan1, stats1 = rig.run(dag, signatures, forced=forced_second, iteration=1)
+        rigs[spec] = rig
+        runs[spec] = (plan0, stats0, plan1, stats1)
+    return rigs, runs
+
+
+def assert_executor_matrix_equivalent(
+    rigs: Dict[str, ExecutorRig],
+    runs: Dict[str, MatrixRun],
+    reference: Optional[str] = None,
+    include_times: bool = True,
+    include_storage: bool = True,
+) -> None:
+    """Assert every executor's runs + persistent state match the reference's.
+
+    ``reference`` defaults to the first executor in ``runs`` (by convention
+    the inline strategy).  ``include_times``/``include_storage`` are
+    forwarded to :func:`assert_equivalent_runs` — pass
+    ``include_storage=False`` for real workloads compared across the process
+    executor (module docstring).
+    """
+    names = list(runs)
+    if reference is None:
+        reference = names[0]
+    ref_plan0, ref0, ref_plan1, ref1 = runs[reference]
+    for name in names:
+        if name == reference:
+            continue
+        plan0, stats0, plan1, stats1 = runs[name]
+        if plan0.states != ref_plan0.states or plan1.states != ref_plan1.states:
+            raise AssertionError(
+                f"executor {name!r} solved different plans than {reference!r}"
+            )
+        assert_equivalent_runs(
+            ref0, stats0, include_times=include_times, include_storage=include_storage
+        )
+        assert_equivalent_runs(
+            ref1,
+            stats1,
+            include_times=include_times,
+            include_storage=include_storage,
+            reference_stats=rigs[reference].stats_store,
+            candidate_stats=rigs[name].stats_store,
+            reference_store=rigs[reference].store,
+            candidate_store=rigs[name].store,
+        )
+
+
+def assert_executors_equivalent(
+    dag,
+    executors: Sequence[str] = EXECUTOR_NAMES,
+    include_times: bool = True,
+    include_storage: bool = True,
+    **matrix_kwargs,
+) -> Tuple[Dict[str, ExecutorRig], Dict[str, MatrixRun]]:
+    """Run :func:`run_executor_matrix` and assert the whole matrix agrees."""
+    rigs, runs = run_executor_matrix(dag, executors=executors, **matrix_kwargs)
+    assert_executor_matrix_equivalent(
+        rigs, runs, include_times=include_times, include_storage=include_storage
+    )
+    return rigs, runs

@@ -1,0 +1,425 @@
+"""Executor strategies: *where* individual node tasks run.
+
+The execution layer separates two concerns that PR 2 entangled in a pair of
+near-duplicate engines:
+
+* **Lifecycle orchestration** — scheduling ready nodes, cache/scope reference
+  counting, deterministic retirement commits (streaming materialization
+  decisions + eviction), stats recording.  This lives in one place:
+  :class:`~repro.execution.engine.ExecutionEngine`.
+* **Task dispatch** — actually running one node's load/compute somewhere.
+  That is this module's :class:`Executor` strategy, with three built-ins:
+
+  - :class:`InlineExecutor` (``"inline"``) — tasks run synchronously on the
+    scheduler thread.  The reference strategy; replaces the old serial
+    engine.
+  - :class:`ThreadExecutor` (``"thread"``) — tasks run on a
+    ``ThreadPoolExecutor``.  Best for latency-bound operators (store I/O,
+    external services) which overlap even on a single core; CPU-bound pure
+    Python is GIL-limited.  Replaces ``ParallelExecutionEngine``.
+  - :class:`ProcessExecutor` (``"process"``) — COMPUTE tasks are serialized
+    with :mod:`repro.storage.serialization` and run on a
+    ``ProcessPoolExecutor``; the worker returns the computed value plus its
+    measured compute time, and the engine applies the cost model on receipt.
+    LOAD tasks (store reads) and all bookkeeping stay in the coordinating
+    process.  Best for CPU-bound pure-Python operators, which scale with
+    cores instead of fighting over the GIL.
+
+The engine drives an executor through one run as
+``start -> submit*/submit_payload* -> next_completion* -> shutdown``; when
+configured by name it builds a fresh instance per ``execute`` call
+(:func:`create_executor`), and a user-supplied instance is reset for reuse
+by ``start``.  Completions are delivered through an internal queue as
+``(key, outcome, error)`` triples, so the engine's scheduling loop is
+identical across strategies.
+
+The legacy engine names ``"serial"`` and ``"parallel"`` remain accepted
+everywhere an executor name is (:data:`LEGACY_ENGINE_ALIASES`); they are
+deprecated spellings of ``"inline"`` and ``"thread"``.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import wait as wait_futures
+from typing import Any, Callable, Dict, Optional, Set, Tuple, Type, Union
+
+from ..exceptions import ExecutionError, OperatorError
+from ..storage.serialization import deserialize, serialize
+
+__all__ = [
+    "Executor",
+    "InlineExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "EXECUTOR_NAMES",
+    "LEGACY_ENGINE_ALIASES",
+    "resolve_executor_name",
+    "create_executor",
+    "default_max_workers",
+    "default_process_workers",
+    "run_serialized_task",
+]
+
+#: Canonical executor strategy names.
+EXECUTOR_NAMES = ("inline", "thread", "process")
+
+#: Deprecated engine names from the PR 2 serial/parallel split, still accepted
+#: by every name-taking entry point (``create_engine``, ``configure_engine``,
+#: ``run_lifecycle(engine=...)``).
+LEGACY_ENGINE_ALIASES = {"serial": "inline", "parallel": "thread"}
+
+#: Inverse of :data:`LEGACY_ENGINE_ALIASES`, for reporting a configured
+#: executor under its legacy name (``System.engine``).
+LEGACY_NAME_BY_EXECUTOR = {new: old for old, new in LEGACY_ENGINE_ALIASES.items()}
+
+#: A completed task: (task key, outcome or None, error or None).
+Completion = Tuple[str, Any, Optional[BaseException]]
+
+
+def default_max_workers() -> int:
+    """Default thread count: enough to overlap latency on small machines."""
+    return min(32, (os.cpu_count() or 1) + 4)
+
+
+def default_process_workers() -> int:
+    """Default process count: one worker per core (CPU-bound work)."""
+    return os.cpu_count() or 1
+
+
+def resolve_executor_name(name: str) -> str:
+    """Canonicalize an executor name, accepting the legacy engine aliases."""
+    if name in EXECUTOR_NAMES:
+        return name
+    alias = LEGACY_ENGINE_ALIASES.get(name)
+    if alias is not None:
+        return alias
+    raise ExecutionError(
+        f"unknown executor {name!r}; expected one of {list(EXECUTOR_NAMES)} "
+        f"(or the deprecated engine aliases {sorted(LEGACY_ENGINE_ALIASES)})"
+    )
+
+
+def run_serialized_task(payload: bytes) -> bytes:
+    """Worker-side entry point for out-of-process COMPUTE tasks.
+
+    Deserializes ``(node_name, operator, inputs, context)``, runs the
+    operator, and returns the serialized ``(value, measured_seconds)`` pair.
+    Failures — including payload deserialization itself, which can fail on
+    spawn-based platforms when the operator's module is not importable in
+    the worker — are wrapped into a picklable :class:`OperatorError`,
+    exactly as the in-process compute path does.
+    """
+    try:
+        name, operator, inputs, context = deserialize(payload)
+    except Exception as exc:  # noqa: BLE001 - worker cannot rebuild the task
+        raise OperatorError(
+            "<task payload>",
+            f"worker could not deserialize the task: {exc}; on spawn-based "
+            f"platforms operators must be importable from their module "
+            f"(not defined in __main__ or a notebook cell)",
+        ) from exc
+    started = time.perf_counter()
+    try:
+        value = operator.run(inputs, context)
+    except OperatorError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - wrap arbitrary operator failures
+        raise OperatorError(name, str(exc)) from exc
+    measured = time.perf_counter() - started
+    try:
+        return serialize((value, measured))
+    except Exception as exc:  # noqa: BLE001 - unpicklable operator result
+        raise OperatorError(
+            name, f"result of type {type(value).__name__} is not picklable: {exc}"
+        ) from exc
+
+
+class Executor(ABC):
+    """Strategy interface: run node tasks, deliver completions through a queue.
+
+    Subclasses dispatch work somewhere (scheduler thread, thread pool,
+    process pool) and push :data:`Completion` triples onto ``self._results``;
+    the engine consumes them with :meth:`next_completion`.  One
+    ``start``/``shutdown`` cycle serves one ``ExecutionEngine.execute`` call;
+    ``start`` resets the instance so it can serve another run afterwards.
+    """
+
+    #: Canonical strategy name (registry key and display name).
+    name: str = "abstract"
+
+    #: True when workers run in a separate interpreter.  The engine then
+    #: ships picklable payloads (``submit_payload``) for COMPUTE tasks and
+    #: validates operator process safety before dispatching anything; LOAD
+    #: tasks still go through :meth:`submit` on the scheduler thread.
+    out_of_process: bool = False
+
+    #: True when :meth:`submit` runs the task before returning.  The engine
+    #: then dispatches one task at a time (in topological order) so each
+    #: value enters the tracked cache — and is retired — before the next
+    #: task runs, reproducing the serial reference's bounded memory profile
+    #: instead of buffering a whole ready frontier in the completion queue.
+    synchronous: bool = False
+
+    def __init__(self) -> None:
+        self._results: "queue.Queue[Completion]" = queue.Queue()
+        self._inflight: Set["Future[Any]"] = set()
+        self._inflight_lock = threading.Lock()
+        self._generation = 0
+
+    def start(self) -> None:
+        """Acquire worker resources (pools) for one engine run.
+
+        Subclasses must call ``super().start()``: it opens a new run
+        generation with a fresh completion queue, so completions left over
+        from a previous run on the same instance can never leak into this
+        one.  (``finish_run`` waits for futures to *complete*, but a
+        completed future's done-callback may still be running — the
+        generation check in ``_track`` drops such stragglers.)
+        """
+        with self._inflight_lock:
+            self._generation += 1
+        self._results = queue.Queue()
+
+    @abstractmethod
+    def submit(self, key: str, fn: Callable[[], Any]) -> None:
+        """Run ``fn`` and deliver ``(key, fn(), None)`` — or the error — later."""
+
+    def submit_payload(self, key: str, payload: bytes) -> None:
+        """Dispatch a serialized COMPUTE task (out-of-process executors only)."""
+        raise ExecutionError(
+            f"executor {self.name!r} does not accept serialized payloads"
+        )
+
+    def next_completion(self) -> Completion:
+        """Block until one submitted task finishes; return its completion."""
+        return self._results.get()
+
+    def finish_run(self, cancel: bool = False) -> None:
+        """End one engine run without releasing pools.
+
+        Cancels queued tasks (when ``cancel``) and waits for in-flight ones
+        to drain, so a reused instance carries no work into its next
+        ``start``.  The engine calls this instead of :meth:`shutdown` for
+        user-supplied instances, letting callers amortize pool startup across
+        executes; such callers own the final :meth:`shutdown`.
+        """
+        with self._inflight_lock:
+            pending = list(self._inflight)
+        if cancel:
+            for future in pending:
+                future.cancel()
+        if pending:
+            wait_futures(pending)
+        with self._inflight_lock:
+            self._inflight.clear()
+
+    def shutdown(self, cancel: bool = False) -> None:
+        """Release worker resources, optionally cancelling queued tasks.
+
+        Always waits for in-flight tasks to drain so no worker outlives the
+        engine's run (failure paths rely on this before surfacing errors).
+        """
+
+    # ------------------------------------------------------------------ helpers
+    def _run_to_completion(self, key: str, fn: Callable[[], Any]) -> None:
+        """Run ``fn`` here and now, converting the result into a completion."""
+        try:
+            outcome = fn()
+        except BaseException as exc:  # noqa: BLE001 - surfaced by the engine
+            self._results.put((key, None, exc))
+        else:
+            self._results.put((key, outcome, None))
+
+    def _track(
+        self,
+        key: str,
+        future: "Future[Any]",
+        deliver: Callable[[str, "Future[Any]"], None],
+    ) -> None:
+        """Register an in-flight future and route its completion to ``deliver``.
+
+        Deliveries are stamped with the current run generation and bound to
+        that generation's queue (both read atomically), so a straggler
+        callback firing around the next ``start`` either gets dropped or
+        posts into the already-discarded old queue — never into the new
+        run's queue.
+        """
+        with self._inflight_lock:
+            self._inflight.add(future)
+            generation = self._generation
+
+        def _done(f: "Future[Any]", k: str = key) -> None:
+            with self._inflight_lock:
+                self._inflight.discard(f)
+                if self._generation != generation:
+                    return
+                results = self._results
+            deliver(k, f, results)
+
+        future.add_done_callback(_done)
+
+    def _deliver_future(
+        self, key: str, future: "Future[Any]", results: "queue.Queue[Completion]"
+    ) -> None:
+        try:
+            outcome = future.result()
+        except BaseException as exc:  # noqa: BLE001 - surfaced by the engine
+            results.put((key, None, exc))
+        else:
+            results.put((key, outcome, None))
+
+
+class InlineExecutor(Executor):
+    """Tasks run synchronously on the scheduler thread (the reference strategy).
+
+    ``max_workers`` is accepted for constructor uniformity and ignored.
+    """
+
+    name = "inline"
+    synchronous = True
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
+        del max_workers
+
+    def submit(self, key: str, fn: Callable[[], Any]) -> None:
+        self._run_to_completion(key, fn)
+
+
+class ThreadExecutor(Executor):
+    """Tasks run on a ``ThreadPoolExecutor`` (DAG-level parallelism)."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
+        if max_workers is not None and max_workers < 1:
+            raise ExecutionError("max_workers must be at least 1")
+        self.max_workers = int(max_workers) if max_workers is not None else default_max_workers()
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def start(self) -> None:
+        super().start()
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-exec"
+            )
+
+    def submit(self, key: str, fn: Callable[[], Any]) -> None:
+        assert self._pool is not None, "executor used before start()"
+        self._track(key, self._pool.submit(fn), self._deliver_future)
+
+    def shutdown(self, cancel: bool = False) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=cancel)
+            self._pool = None
+
+
+class ProcessExecutor(Executor):
+    """COMPUTE tasks run on a ``ProcessPoolExecutor``; everything else inline.
+
+    The engine serializes ``(node_name, operator, inputs, context)`` with
+    :mod:`repro.storage.serialization` and hands the bytes to
+    :meth:`submit_payload`; the worker (:func:`run_serialized_task`) returns
+    the serialized ``(value, measured_seconds)`` pair, deserialized here
+    before delivery.  LOAD tasks and retirement bookkeeping never leave the
+    coordinating process — the store, cache and stats are not shared with
+    workers.  Loads run on a small I/O thread pool (the same thread-safe
+    substrate the thread executor uses) rather than the scheduler thread, so
+    a slow store read never stalls COMPUTE dispatch to idle workers.
+
+    Uses the platform's default multiprocessing start method (``fork`` on
+    Linux).  On spawn-based platforms, operators whose results depend on
+    per-process state (e.g. ``PYTHONHASHSEED``-randomized ``hash()``) can
+    legitimately diverge from the in-process executors.
+    """
+
+    name = "process"
+    out_of_process = True
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
+        if max_workers is not None and max_workers < 1:
+            raise ExecutionError("max_workers must be at least 1")
+        self.max_workers = (
+            int(max_workers) if max_workers is not None else default_process_workers()
+        )
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._io_pool: Optional[ThreadPoolExecutor] = None
+
+    def start(self) -> None:
+        super().start()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        if self._io_pool is None:
+            self._io_pool = ThreadPoolExecutor(
+                max_workers=min(4, self.max_workers), thread_name_prefix="repro-io"
+            )
+
+    def submit(self, key: str, fn: Callable[[], Any]) -> None:
+        # In-process tasks (store loads) need the store, which workers do not
+        # have; they run on the I/O thread pool so a slow read does not block
+        # the scheduler from feeding COMPUTE payloads to idle workers.
+        assert self._io_pool is not None, "executor used before start()"
+        self._track(key, self._io_pool.submit(fn), self._deliver_future)
+
+    def submit_payload(self, key: str, payload: bytes) -> None:
+        assert self._pool is not None, "executor used before start()"
+        self._track(key, self._pool.submit(run_serialized_task, payload), self._deliver_reply)
+
+    def shutdown(self, cancel: bool = False) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=cancel)
+            self._pool = None
+        if self._io_pool is not None:
+            self._io_pool.shutdown(wait=True, cancel_futures=cancel)
+            self._io_pool = None
+
+    # ------------------------------------------------------------------ helpers
+    def _deliver_reply(
+        self, key: str, future: "Future[bytes]", results: "queue.Queue[Completion]"
+    ) -> None:
+        try:
+            outcome = deserialize(future.result())
+        except BaseException as exc:  # noqa: BLE001 - surfaced by the engine
+            results.put((key, None, exc))
+        else:
+            results.put((key, outcome, None))
+
+
+_EXECUTORS: Dict[str, Type[Executor]] = {
+    InlineExecutor.name: InlineExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+
+#: What ``create_executor`` accepts: a name (canonical or legacy alias), an
+#: :class:`Executor` subclass, or a ready instance.
+ExecutorSpec = Union[str, Type[Executor], Executor]
+
+
+def create_executor(
+    executor: ExecutorSpec = "inline", max_workers: Optional[int] = None
+) -> Executor:
+    """Build an executor from a name, class or ready instance.
+
+    A ready instance already carries its own worker count, so combining one
+    with ``max_workers`` is rejected rather than silently ignoring the count
+    (a user asking for ``max_workers=1`` must not get a default-sized pool).
+    """
+    if isinstance(executor, Executor):
+        if max_workers is not None:
+            raise ExecutionError(
+                "max_workers cannot be combined with an executor instance; "
+                "configure the instance's own max_workers instead"
+            )
+        return executor
+    if isinstance(executor, type) and issubclass(executor, Executor):
+        return executor(max_workers=max_workers)
+    return _EXECUTORS[resolve_executor_name(executor)](max_workers=max_workers)

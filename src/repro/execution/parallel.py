@@ -1,227 +1,45 @@
-"""Parallel DAG execution: dispatch ready nodes onto a thread pool.
+"""Backwards-compatibility shims from the PR 2 serial/parallel engine split.
 
-:class:`ParallelExecutionEngine` executes the same physical plans as the
-serial :class:`~repro.execution.engine.ExecutionEngine`, but instead of
-walking the topological order one node at a time it submits every node whose
-parents have all resolved to a ``ThreadPoolExecutor`` (configurable
-``max_workers``).  Wide DAGs — the Figure 7 scalability workloads, the
-multi-featurizer NLP/census pipelines — therefore run their independent
-branches concurrently; latency-bound operators (I/O, store loads, external
-services) overlap even on a single core.
+.. deprecated::
+    The execution layer is now a single :class:`ExecutionEngine` lifecycle
+    parameterized by a pluggable :class:`~repro.execution.executors.Executor`
+    strategy (``"inline"`` | ``"thread"`` | ``"process"``).  This module
+    remains so existing imports keep working:
 
-Equivalence contract
---------------------
-The parallel engine produces the *same run statistics* as the serial engine
-(outputs, node states, charged node/component times under a deterministic
-cost model, materialization decisions and materialized-node sets); only
-wall-clock and the memory-residency profile may differ.  Two mechanisms
-guarantee this:
+    * :class:`ParallelExecutionEngine` — alias for
+      ``ExecutionEngine(executor="thread")``.
+    * :func:`create_engine` — re-export of
+      :func:`repro.execution.engine.create_engine`, which still accepts the
+      legacy engine names ``"serial"`` and ``"parallel"`` as aliases for
+      ``"inline"`` and ``"thread"``.
+    * :data:`ENGINE_NAMES` — the legacy name tuple.
 
-* **Reference-counted scope tracking** — a cached value is retired only
-  after all of its executing consumers completed (the same refcounts the
-  serial engine uses), so an operator can never observe a missing input.
-* **Deterministic retirement commits** — out-of-scope nodes are *committed*
-  (streaming materialization decision, store write, eviction) by the
-  scheduler thread in exactly the order the serial engine would retire them:
-  sorted by out-of-scope position in the topological order, then by name.
-  Because the streaming policy's cumulative run time (Definition 6) reads
-  only the node's *ancestors* — which have necessarily completed — and the
-  storage-budget sequence is fixed by the commit order, every decision
-  matches the serial engine's bit for bit.
-
-Thread-safety contract for operators
-------------------------------------
-``Operator.run`` implementations must be safe to call concurrently with
-*other* operators' ``run`` (each node still runs at most once): no mutation
-of shared global state, no reliance on execution order beyond declared DAG
-edges.  All library operators satisfy this; custom operators that mutate
-shared state must either synchronize internally or be run with
-``max_workers=1``.
+    New code should use :func:`repro.execution.create_engine` with an
+    executor name, or construct :class:`ExecutionEngine` directly.
 """
 
 from __future__ import annotations
 
-import os
-import queue
-import threading
-from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Mapping, Optional, Set
+from typing import Optional
 
-from ..core.dag import WorkflowDAG
-from ..exceptions import ExecutionError
-from ..optimizer.oep import ExecutionPlan, NodeState
-from ..optimizer.pruning import out_of_scope_after
-from ..storage.serialization import estimate_size_bytes
-from .engine import ExecutionEngine
-from .tracker import MemoryTracker, RunStats
+from .engine import ExecutionEngine, create_engine
+from .executors import default_max_workers
 
 __all__ = ["ParallelExecutionEngine", "create_engine", "default_max_workers", "ENGINE_NAMES"]
 
-#: Names accepted by :func:`create_engine` and ``System.configure_engine``.
+#: Legacy engine names (deprecated aliases for the "inline"/"thread" executors).
 ENGINE_NAMES = ("serial", "parallel")
 
 
-def default_max_workers() -> int:
-    """Default worker count: enough to overlap latency on small machines."""
-    return min(32, (os.cpu_count() or 1) + 4)
-
-
 class ParallelExecutionEngine(ExecutionEngine):
-    """Executes physical plans with DAG-level parallelism.
+    """Deprecated alias: :class:`ExecutionEngine` pinned to the thread executor.
 
-    Accepts the same arguments as :class:`ExecutionEngine` plus
-    ``max_workers``.  With ``max_workers=1`` the engine degenerates to a
-    (queue-ordered) serial execution and is primarily useful for testing.
+    Accepts the same arguments as :class:`ExecutionEngine` (minus
+    ``executor``) plus ``max_workers``.  With ``max_workers=1`` the engine
+    degenerates to a queue-ordered serial execution and is primarily useful
+    for testing.
     """
 
     def __init__(self, *args, max_workers: Optional[int] = None, **kwargs):
-        super().__init__(*args, **kwargs)
-        if max_workers is not None and max_workers < 1:
-            raise ExecutionError("max_workers must be at least 1")
-        self.max_workers = int(max_workers) if max_workers is not None else default_max_workers()
-
-    # ------------------------------------------------------------------ public
-    def execute(
-        self,
-        dag: WorkflowDAG,
-        plan: ExecutionPlan,
-        signatures: Mapping[str, str],
-        iteration: int = 0,
-    ) -> RunStats:
-        """Run one iteration according to ``plan`` and return its statistics."""
-        self._validate(dag, plan, signatures)
-        self.cache.clear()
-        memory = MemoryTracker()
-        stats = self._new_run_stats(dag, plan, iteration)
-
-        order = self._execution_order(dag, plan)
-        if not order:
-            return self._finalize_run(stats, memory)
-        executing: Set[str] = set(order)
-        consumers = self._consumer_counts(dag, executing)
-        pending_parents = {
-            name: len({p for p in dag.node(name).parents if p in executing})
-            for name in order
-        }
-
-        # The serial engine's retirement sequence: out-of-scope position in
-        # the topological order, ties broken by name.  Commits follow this
-        # order exactly (see module docstring).
-        scope = out_of_scope_after(dag, order)
-        retirement_order = sorted(order, key=lambda n: (scope[n], n))
-        retire_index = 0
-        out_of_scope: Set[str] = set()
-
-        completed: Set[str] = set()
-        results: "queue.Queue" = queue.Queue()
-        failure: Optional[BaseException] = None
-
-        pool = ThreadPoolExecutor(
-            max_workers=self.max_workers, thread_name_prefix="repro-exec"
-        )
-
-        def submit(name: str) -> None:
-            future = pool.submit(
-                self._run_node, dag, name, plan.states[name], signatures[name]
-            )
-            future.add_done_callback(lambda f, n=name: results.put((n, f)))
-
-        try:
-            for name in order:
-                if pending_parents[name] == 0:
-                    submit(name)
-
-            while len(completed) < len(order):
-                name, future = results.get()
-                try:
-                    value, charged = future.result()
-                except BaseException as exc:  # noqa: BLE001 - surfaced after cleanup
-                    failure = exc
-                    break
-
-                node = dag.node(name)
-                size_bytes = estimate_size_bytes(value)
-                self.cache.put(name, value, size_bytes)
-                self.cache.set_consumers(name, consumers[name])
-                stats.node_times[name] = charged
-                stats.node_sizes[name] = size_bytes
-                if node.is_output:
-                    stats.outputs[name] = value
-                completed.add(name)
-                memory.snapshot(self.cache.snapshot_bytes())
-
-                if consumers[name] == 0:
-                    out_of_scope.add(name)
-                for parent in {p for p in node.parents if p in executing}:
-                    if self.cache.release(parent):
-                        out_of_scope.add(parent)
-
-                for child in {c for c in dag.children(name) if c in executing}:
-                    pending_parents[child] -= 1
-                    if pending_parents[child] == 0:
-                        submit(child)
-
-                while (
-                    retire_index < len(retirement_order)
-                    and retirement_order[retire_index] in out_of_scope
-                ):
-                    retired = retirement_order[retire_index]
-                    self._retire_node(dag, retired, signatures[retired], stats, iteration)
-                    memory.snapshot(self.cache.snapshot_bytes())
-                    retire_index += 1
-        finally:
-            # On failure this cancels every not-yet-started future and waits
-            # for in-flight operators to drain before surfacing the error.
-            pool.shutdown(wait=True, cancel_futures=True)
-
-        if failure is not None:
-            self.cache.clear()
-            raise failure
-
-        self._restore_deterministic_order(dag, stats, order)
-        return self._finalize_run(stats, memory)
-
-    # ------------------------------------------------------------------ helpers
-    @staticmethod
-    def _restore_deterministic_order(
-        dag: WorkflowDAG, stats: RunStats, order: List[str]
-    ) -> None:
-        """Rebuild completion-ordered mappings in topological order.
-
-        Nodes complete in a nondeterministic order, so ``node_times``,
-        ``node_sizes`` and ``outputs`` are re-keyed to the serial engine's
-        iteration order, and ``component_times`` is re-accumulated in that
-        order so even the floating-point summation sequence matches.
-        """
-        stats.node_times = {name: stats.node_times[name] for name in order}
-        stats.node_sizes = {name: stats.node_sizes[name] for name in order}
-        stats.outputs = {
-            name: stats.outputs[name] for name in order if name in stats.outputs
-        }
-        component_times: Dict[str, float] = {}
-        for name in order:
-            component = dag.node(name).component.value
-            component_times[component] = (
-                component_times.get(component, 0.0) + stats.node_times[name]
-            )
-        stats.component_times = component_times
-
-
-def create_engine(
-    engine: str = "serial",
-    *,
-    max_workers: Optional[int] = None,
-    **kwargs,
-) -> ExecutionEngine:
-    """Build an execution engine by name (``"serial"`` or ``"parallel"``).
-
-    ``max_workers`` only applies to the parallel engine; remaining keyword
-    arguments are forwarded to the engine constructor.
-    """
-    if engine not in ENGINE_NAMES:
-        raise ExecutionError(
-            f"unknown execution engine {engine!r}; expected one of {list(ENGINE_NAMES)}"
-        )
-    if engine == "parallel":
-        return ParallelExecutionEngine(max_workers=max_workers, **kwargs)
-    return ExecutionEngine(**kwargs)
+        kwargs.setdefault("executor", "thread")
+        super().__init__(*args, max_workers=max_workers, **kwargs)

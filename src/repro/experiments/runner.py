@@ -11,6 +11,7 @@ under test, and records the per-iteration :class:`RunStats`.  The resulting
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -89,6 +90,7 @@ def run_lifecycle(
     scale: float = 1.0,
     reset: bool = True,
     plan: Optional[Sequence[IterationSpec]] = None,
+    executor: Optional[str] = None,
     engine: Optional[str] = None,
     max_workers: Optional[int] = None,
 ) -> LifecycleResult:
@@ -106,17 +108,29 @@ def run_lifecycle(
         Dataset scale factor (1.0 = default size, 10.0 = the 10x experiment).
     plan:
         Explicit iteration plan; overrides sampling when provided.
-    engine:
+    executor:
         When given, reconfigure the system to run iterations on this
-        execution engine (``"serial"`` or ``"parallel"``); ``None`` keeps the
-        system's current configuration.
+        executor strategy (``"inline"``, ``"thread"`` or ``"process"``);
+        ``None`` keeps the system's current configuration.
+    engine:
+        Deprecated alias for ``executor`` accepting the PR 2 engine names
+        (``"serial"`` -> ``"inline"``, ``"parallel"`` -> ``"thread"``).
     max_workers:
-        Worker count for the parallel engine (only used with ``engine``).
+        Worker count for pool-backed executors (only used with
+        ``executor``/``engine``).
     """
     if isinstance(workload, str):
         workload = get_workload(workload)
-    if engine is not None:
-        system.configure_engine(engine, max_workers)
+    if engine is not None and executor is None:
+        warnings.warn(
+            "run_lifecycle(engine=...) is deprecated; use executor= "
+            '("serial" -> "inline", "parallel" -> "thread")',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        executor = engine
+    if executor is not None:
+        system.configure_executor(executor, max_workers)
     if reset:
         system.reset()
     resolved_plan = list(plan) if plan is not None else build_iteration_plan(
@@ -143,13 +157,15 @@ def run_comparison(
     seed: int = 7,
     scale: float = 1.0,
     skip_unsupported: bool = True,
+    executor: Optional[str] = None,
     engine: Optional[str] = None,
     max_workers: Optional[int] = None,
 ) -> Dict[str, LifecycleResult]:
     """Run several systems over the identical lifecycle and return results by name.
 
-    ``engine``/``max_workers`` reconfigure every system's execution engine
-    for the comparison; ``None`` keeps each system's own configuration.
+    ``executor``/``max_workers`` reconfigure every system's executor strategy
+    for the comparison (``engine`` is the deprecated name-alias form);
+    ``None`` keeps each system's own configuration.
     """
     if isinstance(workload, str):
         workload = get_workload(workload)
@@ -165,6 +181,7 @@ def run_comparison(
             seed=seed,
             scale=scale,
             plan=plan,
+            executor=executor,
             engine=engine,
             max_workers=max_workers,
         )

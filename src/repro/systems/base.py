@@ -7,20 +7,54 @@ rather than unrelated engineering differences.  Every system implements
 :meth:`System.run_iteration`, which takes the workflow for the current
 iteration and returns the :class:`~repro.execution.tracker.RunStats` observed
 while executing it.
+
+All systems share the same execution substrate, so executor selection is a
+system-level toggle (:meth:`System.configure_executor`): the reuse policies
+stay untouched and only the task-dispatch strategy underneath them changes —
+``"inline"`` (reference), ``"thread"`` (latency-bound parallelism) or
+``"process"`` (CPU-bound parallelism).  The PR 2 engine API
+(:meth:`System.configure_engine`, the ``engine`` attribute, the
+``"serial"``/``"parallel"`` names) remains as a deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
-from typing import Any, Dict, List, Optional
+from typing import Optional
 
 from ..core.workflow import Workflow
 from ..exceptions import ExecutionError
-from ..execution.engine import ExecutionEngine
-from ..execution.parallel import ENGINE_NAMES, create_engine
+from ..execution.engine import ExecutionEngine, create_engine
+from ..execution.executors import (
+    Executor,
+    LEGACY_NAME_BY_EXECUTOR,
+    resolve_executor_name,
+)
 from ..execution.tracker import RunStats
 
 __all__ = ["System"]
+
+
+def _resolve_executor_arg(
+    executor: Optional[str], engine: Optional[str], default: str = "inline"
+) -> str:
+    """Pick the executor spec from the (new, legacy) constructor keywords.
+
+    An explicitly passed legacy ``engine`` keyword warns, so every deprecated
+    entry point is observable before the aliases are eventually removed.
+    """
+    if executor is not None:
+        return executor
+    if engine is not None:
+        warnings.warn(
+            "the engine= keyword is deprecated; use executor= "
+            '("serial" -> "inline", "parallel" -> "thread")',
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return engine
+    return default
 
 
 class System(ABC):
@@ -29,33 +63,85 @@ class System(ABC):
     #: Display name used in benchmark output.
     name: str = "system"
 
-    #: Which execution engine iterations run on ("serial" or "parallel").
-    engine: str = "serial"
+    #: Which executor strategy iterations run on — a canonical name
+    #: ("inline"|"thread"|"process") or a ready :class:`Executor` instance
+    #: shared across iterations.
+    executor_name: str | Executor = "inline"
 
-    #: Worker count for the parallel engine (None = library default).
+    #: Worker count for pool-backed executors (None = library default).
     max_workers: Optional[int] = None
 
-    # ------------------------------------------------------------------ engine selection
-    def configure_engine(
-        self, engine: str = "serial", max_workers: Optional[int] = None
-    ) -> "System":
-        """Select the execution engine used by :meth:`run_iteration`.
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        # PR 2 subclasses could declare ``engine = "parallel"`` at class
+        # level.  A plain string there would shadow the ``engine`` property
+        # and be silently ignored by ``_create_engine`` (which reads
+        # ``executor_name``), so translate it instead of letting it lie.
+        legacy = cls.__dict__.get("engine")
+        if isinstance(legacy, str):
+            delattr(cls, "engine")
+            cls.executor_name = resolve_executor_name(legacy)
 
-        All systems share the same execution substrate, so engine selection
-        is a system-level toggle: the reuse policies stay untouched and only
-        the scheduler underneath them changes.
+    # ------------------------------------------------------------------ executor selection
+    def configure_executor(
+        self, executor: str | Executor = "inline", max_workers: Optional[int] = None
+    ) -> "System":
+        """Select the executor strategy used by :meth:`run_iteration`.
+
+        Accepts the canonical executor names as well as the deprecated
+        engine aliases (``"serial"`` -> ``"inline"``, ``"parallel"`` ->
+        ``"thread"``).  Passing a ready :class:`Executor` *instance* keeps
+        its worker pools alive across iterations (the per-iteration engines
+        only drain it), amortizing pool startup over a whole lifecycle —
+        the caller then owns the final ``executor.shutdown()``.
         """
-        if engine not in ENGINE_NAMES:
-            raise ExecutionError(
-                f"unknown execution engine {engine!r}; expected one of {list(ENGINE_NAMES)}"
-            )
-        self.engine = engine
+        if isinstance(executor, Executor):
+            if max_workers is not None:
+                raise ExecutionError(
+                    "max_workers cannot be combined with an executor instance; "
+                    "configure the instance's own max_workers instead"
+                )
+            self.executor_name = executor
+        else:
+            self.executor_name = resolve_executor_name(executor)
         self.max_workers = max_workers
         return self
 
+    def configure_engine(
+        self, engine: str = "serial", max_workers: Optional[int] = None
+    ) -> "System":
+        """Deprecated alias for :meth:`configure_executor`.
+
+        .. deprecated::
+            Retained from the PR 2 serial/parallel engine split; the engine
+            names map onto executor strategies (``"serial"`` -> ``"inline"``,
+            ``"parallel"`` -> ``"thread"``).
+        """
+        warnings.warn(
+            "System.configure_engine is deprecated; use "
+            "System.configure_executor(executor=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.configure_executor(engine, max_workers)
+
+    @property
+    def engine(self) -> str:
+        """Deprecated: the configured executor under its legacy engine name."""
+        name = (
+            self.executor_name.name
+            if isinstance(self.executor_name, Executor)
+            else self.executor_name
+        )
+        return LEGACY_NAME_BY_EXECUTOR.get(name, name)
+
+    @engine.setter
+    def engine(self, value: str) -> None:
+        self.executor_name = resolve_executor_name(value)
+
     def _create_engine(self, **kwargs) -> ExecutionEngine:
         """Build the configured engine with system-provided components."""
-        return create_engine(self.engine, max_workers=self.max_workers, **kwargs)
+        return create_engine(self.executor_name, max_workers=self.max_workers, **kwargs)
 
     @abstractmethod
     def run_iteration(

@@ -38,7 +38,7 @@ from ..optimizer.omp import (
     StreamingMaterializationPolicy,
 )
 from ..storage.store import DiskStore, InMemoryStore, MaterializationStore
-from .base import System
+from .base import System, _resolve_executor_arg
 
 __all__ = ["HelixSystem"]
 
@@ -62,11 +62,15 @@ class HelixSystem(System):
         How per-node times are charged; defaults to measured wall-clock time.
     seed:
         Seed propagated to operators through the :class:`RunContext`.
+    executor:
+        Executor strategy for iterations: ``"inline"`` (default),
+        ``"thread"`` (DAG-level parallelism over a thread pool) or
+        ``"process"`` (CPU-bound parallelism over a process pool).
     engine:
-        Execution engine for iterations: ``"serial"`` (default) or
-        ``"parallel"`` (DAG-level parallelism over a thread pool).
+        Deprecated alias for ``executor`` using the PR 2 engine names
+        (``"serial"`` -> ``"inline"``, ``"parallel"`` -> ``"thread"``).
     max_workers:
-        Worker count for the parallel engine (None = library default).
+        Worker count for pool-backed executors (None = library default).
     """
 
     def __init__(
@@ -77,7 +81,8 @@ class HelixSystem(System):
         seed: int = 0,
         storage_budget: Optional[int] = DEFAULT_STORAGE_BUDGET,
         name: Optional[str] = None,
-        engine: str = "serial",
+        executor: Optional[str] = None,
+        engine: Optional[str] = None,
         max_workers: Optional[int] = None,
     ):
         self.policy = policy if policy is not None else StreamingMaterializationPolicy()
@@ -88,7 +93,7 @@ class HelixSystem(System):
         self.tracker = ChangeTracker()
         self.estimator = CostEstimator(self.stats)
         self.name = name or f"helix-{self.policy.name}"
-        self.configure_engine(engine, max_workers)
+        self.configure_executor(_resolve_executor_arg(executor, engine), max_workers)
 
     # ------------------------------------------------------------------ variants
     @classmethod

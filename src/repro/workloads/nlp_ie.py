@@ -273,19 +273,28 @@ class KBLabeler(Operator):
         return DataCollection("labeled_candidates", labeled, kind=ElementKind.RECORD)
 
 
-def _between_words_extractor(hashing_dims: int):
-    """Factory for the bag-of-words-between-mentions feature extractor UDF."""
-    vectorizer = HashingVectorizer(n_features=hashing_dims, seed=13)
+class BetweenWordsExtractor:
+    """Bag-of-words-between-mentions feature extractor UDF.
 
-    def _extract(record: Record) -> FeatureVector:
+    A module-level callable class rather than a closure factory so the IE
+    operators are picklable and the workflow can run on the process executor.
+    Its signature token is the class path, the ``__call__`` bytecode and its
+    scalar state (the hashing dimensionality), so editing the extraction
+    logic or changing the dimensionality both invalidate reuse — only scalar
+    state is kept on the instance, because non-scalar attributes would make
+    the signature instance-unique and forfeit reuse.
+    """
+
+    def __init__(self, hashing_dims: int):
+        self.hashing_dims = int(hashing_dims)
+
+    def __call__(self, record: Record) -> FeatureVector:
+        vectorizer = HashingVectorizer(n_features=self.hashing_dims, seed=13)
         tokens = [t.lower() for t in record.get("between_tokens", ())]
         dense = vectorizer.transform_one(tokens)
         return FeatureVector(
             {f"bw_{i}": float(v) for i, v in enumerate(dense) if v != 0.0}
         )
-
-    _extract._version = hashing_dims  # signature changes when dimensionality changes
-    return _extract
 
 
 def _pos_pattern_extractor(record: Record) -> FeatureVector:
@@ -401,7 +410,7 @@ class IEWorkload(Workload):
 
         feature_nodes: Dict[str, FunctionExtractor] = {
             "betweenWords": FunctionExtractor(
-                "betweenWords", _between_words_extractor(config.hashing_dims)
+                "betweenWords", BetweenWordsExtractor(config.hashing_dims)
             ),
             "posPattern": FunctionExtractor("posPattern", _pos_pattern_extractor),
             "distance": FunctionExtractor("distance", _distance_extractor),

@@ -63,6 +63,31 @@ class FailingOperator(Operator):
         raise RuntimeError("intentional failure")
 
 
+class UnpicklableOperator(Operator):
+    """Carries a lambda, so pickling fails (the classic closure-UDF mistake)."""
+
+    def __init__(self):
+        self.fn = lambda x: x + 1
+
+    def config(self) -> Dict[str, Any]:
+        return {"fn": self.fn}
+
+    def run(self, inputs: Sequence[Any], context: RunContext) -> Any:
+        return self.fn(1.0)
+
+
+class OptedOutOperator(Operator):
+    """Picklable but declares itself unsafe for process execution."""
+
+    supports_processes = False
+
+    def config(self) -> Dict[str, Any]:
+        return {}
+
+    def run(self, inputs: Sequence[Any], context: RunContext) -> Any:
+        return 1.0
+
+
 def make_chain_dag(n: int = 4, costs: Optional[List[float]] = None, name: str = "chain") -> WorkflowDAG:
     """n0 -> n1 -> ... -> n_{n-1}, last node is the output."""
     costs = costs or [1.0] * n

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.execution.clock import SimulatedCostModel
 from repro.experiments.runner import run_comparison, run_lifecycle
 from repro.systems.deepdive import DeepDiveSystem
 from repro.systems.helix import HelixSystem
@@ -61,8 +62,17 @@ class TestMaterializationPolicyClaims:
     def test_am_uses_more_storage_than_opt(self):
         # MNIST is where the difference is stark: its DPR intermediates are
         # large and cheap, so OPT skips them while AM persists them all.
-        opt = run_lifecycle(HelixSystem.opt(seed=0), "mnist", n_iterations=4, seed=7)
-        am = run_lifecycle(HelixSystem.always_materialize(seed=0), "mnist", n_iterations=4, seed=7)
+        # The simulated clock keeps OPT's streaming decisions independent of
+        # machine speed: under measured wall-clock a slow/contended machine
+        # inflates compute times until OPT materializes everything AM does.
+        opt = run_lifecycle(
+            HelixSystem.opt(cost_model=SimulatedCostModel(), seed=0),
+            "mnist", n_iterations=4, seed=7,
+        )
+        am = run_lifecycle(
+            HelixSystem.always_materialize(cost_model=SimulatedCostModel(), seed=0),
+            "mnist", n_iterations=4, seed=7,
+        )
         assert am.storage_series()[-1] > opt.storage_series()[-1]
         # On every workload AM can never use *less* storage than OPT.
         opt_census = run_lifecycle(HelixSystem.opt(seed=0), "census", n_iterations=4, seed=7)

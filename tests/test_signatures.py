@@ -66,6 +66,94 @@ class TestNodeSignatures:
         assert compute_node_signatures(d1)["c"] == compute_node_signatures(d2)["c"]
 
 
+class TestCallableInstanceTokens:
+    """Callable-instance UDFs (the process-safe closure replacement) must be
+    signature-sensitive to their ``__call__`` bytecode, not just ``_version``."""
+
+    def test_editing_call_body_changes_signature(self):
+        from repro.core.operators import FunctionExtractor
+
+        class UdfA:
+            def __call__(self, record):
+                return 1.0
+
+        class UdfB:
+            def __call__(self, record):
+                return 2.0
+
+        UdfB.__qualname__ = UdfA.__qualname__  # same class path, different body
+        UdfB.__module__ = UdfA.__module__
+        sig_a = FunctionExtractor("f", UdfA()).config_signature()
+        sig_b = FunctionExtractor("f", UdfB()).config_signature()
+        assert sig_a != sig_b
+
+    def test_version_still_participates(self):
+        from repro.core.operators import FunctionExtractor
+
+        class Udf:
+            def __init__(self, version):
+                self._version = version
+
+            def __call__(self, record):
+                return 1.0
+
+        assert (
+            FunctionExtractor("f", Udf(1)).config_signature()
+            != FunctionExtractor("f", Udf(2)).config_signature()
+        )
+
+    def test_instance_state_participates_without_version(self):
+        """Two instances of one UDF class with different constructor state
+        must not alias even when the class never sets _version."""
+        from repro.core.operators import FunctionExtractor
+
+        class Thresholder:
+            def __init__(self, t):
+                self.t = t
+
+            def __call__(self, record):
+                return float(record > self.t)
+
+        assert (
+            FunctionExtractor("f", Thresholder(1)).config_signature()
+            == FunctionExtractor("f", Thresholder(1)).config_signature()
+        )
+        assert (
+            FunctionExtractor("f", Thresholder(1)).config_signature()
+            != FunctionExtractor("f", Thresholder(2)).config_signature()
+        )
+
+    def test_slotted_instance_state_participates(self):
+        from repro.core.operators import FunctionExtractor
+
+        class SlottedThresholder:
+            __slots__ = ("t",)
+
+            def __init__(self, t):
+                self.t = t
+
+            def __call__(self, record):
+                return float(record > self.t)
+
+        assert (
+            FunctionExtractor("f", SlottedThresholder(1)).config_signature()
+            != FunctionExtractor("f", SlottedThresholder(2)).config_signature()
+        )
+
+    def test_partial_bound_arguments_participate(self):
+        import functools
+
+        from repro.core.operators import FunctionExtractor
+
+        def scale(record, k=1):
+            return float(k)
+
+        assert (
+            FunctionExtractor("f", functools.partial(scale, k=2)).config_signature()
+            != FunctionExtractor("f", functools.partial(scale, k=3)).config_signature()
+        )
+
+
 class TestDiff:
     def test_everything_original_on_first_iteration(self):
         signatures = compute_node_signatures(_dag())
