@@ -5,24 +5,28 @@ executor parallelism (7c).
 KeystoneML (the paper uses 10x; the harness defaults to 4x to keep run time
 modest — pass ``--scale`` via REPRO_FIG7_SCALE to change it).  7(b) repeats
 the census-at-scale lifecycle under a simulated 2/4/8-worker cluster cost
-model for both systems.  7(c) is a three-way inline/thread/process executor
-comparison on two synthetic wide-DAG workloads:
+model for both systems.  7(c) is a four-way inline/thread/process/distributed
+executor comparison on two synthetic wide-DAG workloads:
 
 * **latency-bound** (``make_wide_dag``, real sleeps): the thread executor
   must beat inline by >= 2x wall-clock — latency overlaps even on one core;
 * **CPU-bound** (``make_cpu_dag``, pure-Python spin loops that hold the
   GIL): the process executor must beat inline by >= 2x with 4 workers on a
   >= 4-core machine, while the thread executor stays < 1.3x (the GIL gap the
-  process executor exists to close).  On machines with fewer cores the CPU
-  bars are reported but not enforced — there is no parallel CPU to win.
+  process executor exists to close).  The distributed executor — 4 local TCP
+  workers — must beat inline by >= 1.5x on >= 4 cores (it pays a framing +
+  socket round trip per task on top of the process executor's pickling).
+  On machines with fewer cores the CPU bars are reported but not enforced —
+  there is no parallel CPU to win.
 
 Every comparison also asserts all executors produced equivalent run
 statistics (timing excluded — the cost model here charges wall-clock).
 
 Running this file as a script (``python benchmarks/bench_fig7_scalability.py
-[--smoke] [--executor thread|process|all]``) executes the 7(c) comparisons
-standalone, without pytest-benchmark; ``--smoke`` shrinks the DAGs for CI and
-``--executor`` selects the latency (thread), CPU (process) or both sections.
+[--smoke] [--executor thread|process|distributed|all]``) executes the 7(c)
+comparisons standalone, without pytest-benchmark; ``--smoke`` shrinks the
+DAGs for CI and ``--executor`` selects the latency (thread), CPU (process),
+distributed, or all sections.
 """
 
 from __future__ import annotations
@@ -122,9 +126,9 @@ def test_fig7b_cluster_scalability(benchmark):
 
 
 # ---------------------------------------------------------------------------
-# Figure 7c: inline vs thread vs process executors on wide DAGs
+# Figure 7c: inline vs thread vs process vs distributed executors on wide DAGs
 # ---------------------------------------------------------------------------
-EXECUTORS = ("inline", "thread", "process")
+EXECUTORS = ("inline", "thread", "process", "distributed")
 
 
 def _run_executor(
@@ -240,6 +244,19 @@ def _cpu_process_bar(smoke: bool = False) -> Optional[float]:
     return 2.0 if cores >= 4 else 1.5
 
 
+def _cpu_distributed_bar(smoke: bool = False) -> Optional[float]:
+    """Distributed-executor speedup bar on the CPU-bound DAG, or None to skip.
+
+    Enforced only on >= 4 cores (matching the process-executor gating, with
+    slack for the per-task framing + socket round trip): 4 local workers
+    must achieve >= 1.5x over inline.  Below 4 cores the bar is report-only.
+    """
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        return None
+    return 1.2 if smoke else 1.5
+
+
 def test_fig7c_latency_bound_executors(benchmark):
     result = run_once(benchmark, _latency_comparison)
     emit(
@@ -261,16 +278,20 @@ def test_fig7c_cpu_bound_executors(benchmark):
 
     # The GIL caps the thread executor on pure-Python work...
     assert result["thread_speedup"] < 1.3
-    # ...while the process executor scales with the available cores.
+    # ...while the process executor scales with the available cores...
     bar = _cpu_process_bar()
     if bar is None:
         pytest.skip("single-core machine: no parallel CPU to demonstrate scaling on")
     assert result["process_speedup"] >= bar
+    # ...and the distributed executor's TCP workers do too (>= 4 cores).
+    distributed_bar = _cpu_distributed_bar()
+    if distributed_bar is not None:
+        assert result["distributed_speedup"] >= distributed_bar
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Inline/thread/process executor comparison (Figure 7c)"
+        description="Inline/thread/process/distributed executor comparison (Figure 7c)"
     )
     parser.add_argument(
         "--smoke",
@@ -279,11 +300,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--executor",
-        choices=("thread", "process", "all"),
+        choices=("thread", "process", "distributed", "all"),
         default="all",
         help="which comparison to run: 'thread' = latency-bound section "
         "(inline vs thread), 'process' = CPU-bound section (inline vs thread "
-        "vs process), 'all' = both with all three executors",
+        "vs process), 'distributed' = CPU-bound section (inline vs "
+        "distributed only), 'all' = both sections with all four executors",
     )
     args = parser.parse_args(argv)
     failures = []
@@ -304,7 +326,10 @@ def main(argv=None) -> int:
             print(f"OK: thread {result['thread_speedup']:.2f}x >= {bar:g}x (equivalent run statistics)")
 
     if args.executor in ("process", "all"):
-        result = _cpu_comparison(smoke=args.smoke)
+        # The process-only section skips the distributed executor so its
+        # pass/fail never depends on the TCP transport (and vice versa).
+        executors = EXECUTORS if args.executor == "all" else ("inline", "thread", "process")
+        result = _cpu_comparison(smoke=args.smoke, executors=executors)
         print(_format_executor_comparison("CPU-bound (pure-Python spin loops)", result))
         if result["thread_speedup"] >= 1.3:
             failures.append(
@@ -321,6 +346,26 @@ def main(argv=None) -> int:
             )
         else:
             print(f"OK: process {result['process_speedup']:.2f}x >= {bar:g}x (equivalent run statistics)")
+
+    if args.executor in ("distributed", "all"):
+        if args.executor == "distributed":
+            result = _cpu_comparison(smoke=args.smoke, executors=("inline", "distributed"))
+            print(_format_executor_comparison("CPU-bound (pure-Python spin loops)", result))
+        # 'all' reuses the four-way CPU comparison already printed above.
+        bar = _cpu_distributed_bar(smoke=args.smoke)
+        if bar is None:
+            print("SKIP: < 4 cores, distributed speedup bar reported but not enforced")
+            print(f"INFO: distributed {result['distributed_speedup']:.2f}x vs inline")
+        elif result["distributed_speedup"] < bar:
+            failures.append(
+                f"distributed speedup {result['distributed_speedup']:.2f}x below the "
+                f"{bar:g}x bar on the CPU-bound DAG (4 local TCP workers)"
+            )
+        else:
+            print(
+                f"OK: distributed {result['distributed_speedup']:.2f}x >= {bar:g}x "
+                f"(equivalent run statistics)"
+            )
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

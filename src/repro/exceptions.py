@@ -4,7 +4,8 @@ All library-specific errors derive from :class:`HelixError` so that callers can
 catch a single base class.  More specific subclasses are raised by the DSL
 (:class:`WorkflowSpecError`), the compiler/DAG layer (:class:`DAGError`,
 :class:`CycleError`), the optimizer (:class:`OptimizationError`), the execution
-engine (:class:`ExecutionError`) and the materialization store
+engine (:class:`ExecutionError`, :class:`OperatorError`), the distributed
+executor transport (:class:`ProtocolError`) and the materialization store
 (:class:`StorageError`, :class:`BudgetExceededError`).
 """
 
@@ -41,6 +42,16 @@ class OptimizationError(HelixError):
 
 class ExecutionError(HelixError):
     """Raised when the execution engine cannot carry out the physical plan."""
+
+
+class ProtocolError(ExecutionError):
+    """Raised when an executor transport frame violates the wire format.
+
+    Covers a bad magic prefix, a protocol-version mismatch between
+    coordinator and worker, an oversized frame, and a connection that closed
+    mid-frame.  A clean close *between* frames is not an error (the reader
+    reports end-of-stream instead).
+    """
 
 
 class OperatorError(ExecutionError):

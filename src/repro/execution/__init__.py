@@ -3,9 +3,11 @@
 The engine (:class:`ExecutionEngine`) owns the lifecycle — scheduling,
 cache/scope refcounting, deterministic retirement commits, stats — and
 delegates task dispatch to a pluggable :class:`Executor` strategy:
-``"inline"`` (reference), ``"thread"`` (latency-bound parallelism) or
-``"process"`` (CPU-bound parallelism across the GIL).  The legacy
-serial/parallel engine API from PR 2 remains available as deprecated shims
+``"inline"`` (reference), ``"thread"`` (latency-bound parallelism),
+``"process"`` (CPU-bound parallelism across the GIL) or ``"distributed"``
+(multi-worker dispatch over TCP sockets).  The strategy contract is
+documented in ``docs/executors.md``.  The legacy serial/parallel engine API
+from PR 2 remains available as deprecated shims
 (:class:`ParallelExecutionEngine`, the ``"serial"``/``"parallel"`` name
 aliases).
 """
@@ -27,11 +29,13 @@ from .equivalence import (
 )
 from .executors import (
     EXECUTOR_NAMES,
+    DistributedExecutor,
     Executor,
     InlineExecutor,
     LEGACY_ENGINE_ALIASES,
     ProcessExecutor,
     ThreadExecutor,
+    WorkerServer,
     create_executor,
     default_max_workers,
     default_process_workers,
@@ -55,6 +59,8 @@ __all__ = [
     "InlineExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "DistributedExecutor",
+    "WorkerServer",
     "EXECUTOR_NAMES",
     "LEGACY_ENGINE_ALIASES",
     "create_executor",

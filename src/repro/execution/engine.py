@@ -3,8 +3,9 @@
 One :class:`ExecutionEngine` lifecycle serves every executor strategy.  The
 engine walks the optimized DAG with an event-driven scheduler: every node
 whose parents have resolved is dispatched onto the configured
-:class:`~repro.execution.executors.Executor` (``"inline"``, ``"thread"`` or
-``"process"``), and completions drive further dispatch.  While executing it
+:class:`~repro.execution.executors.Executor` (``"inline"``, ``"thread"``,
+``"process"`` or ``"distributed"``), and completions drive further dispatch.
+While executing it
 
 * charges per-node times according to the configured :class:`CostModel`,
 * evicts nodes from the in-memory cache as soon as they go out of scope
@@ -44,9 +45,10 @@ The contract is checkable with the harness in
 
 Out-of-process execution
 ------------------------
-With the process executor, COMPUTE tasks are shipped to workers as
-serialized ``(node_name, operator, inputs, context)`` payloads
-(:mod:`repro.storage.serialization`); the worker returns the value plus its
+With the process and distributed executors, COMPUTE tasks are shipped to
+workers as serialized ``(node_name, operator, inputs, context)`` payloads
+(:mod:`repro.storage.serialization`; the distributed executor additionally
+frames them for its TCP transport); the worker returns the value plus its
 measured compute seconds, and the engine applies the cost model on receipt
 so charged times follow the same code path as in-process execution.  LOAD
 tasks, cache bookkeeping, retirement commits and stats recording never leave
@@ -92,10 +94,13 @@ class ExecutionEngine:
     """Executes physical plans against a store, cache and cost model.
 
     ``executor`` selects the task-dispatch strategy (``"inline"`` — the
-    default reference strategy, ``"thread"``, ``"process"``, a custom
-    :class:`Executor` subclass, or a ready instance; the deprecated engine
-    names ``"serial"``/``"parallel"`` are accepted as aliases).
-    ``max_workers`` bounds the worker pool for the thread/process strategies.
+    default reference strategy, ``"thread"``, ``"process"``,
+    ``"distributed"``, a custom :class:`Executor` subclass, or a ready
+    instance; the deprecated engine names ``"serial"``/``"parallel"`` are
+    accepted as aliases).  ``max_workers`` bounds the worker pool for the
+    pool-backed strategies.  A ready executor *instance* is treated as
+    externally owned: the engine drains it between runs (``finish_run``)
+    and never shuts it down.
     """
 
     def __init__(
@@ -523,10 +528,28 @@ def create_engine(
 ) -> ExecutionEngine:
     """Build an execution engine for an executor strategy.
 
-    ``executor`` is ``"inline"`` (default), ``"thread"``, ``"process"``, an
-    :class:`Executor` subclass, or an instance.  ``max_workers`` only applies
-    to pool-backed strategies; remaining keyword arguments are forwarded to
-    :class:`ExecutionEngine`.
+    Parameters
+    ----------
+    executor:
+        ``"inline"`` (default), ``"thread"``, ``"process"``,
+        ``"distributed"``, an :class:`Executor` subclass, or a ready
+        instance (see ``docs/executors.md`` for the strategy contract).
+    max_workers:
+        Worker-pool bound for pool-backed strategies; rejected when
+        combined with an executor instance.
+    **kwargs:
+        Forwarded to :class:`ExecutionEngine` (store, policy, cost model,
+        stats, cache, context, ...).
+
+    Returns
+    -------
+    A configured :class:`ExecutionEngine`.
+
+    Raises
+    ------
+    ExecutionError
+        On an unknown executor name, an invalid ``max_workers``, or
+        ``max_workers`` combined with an executor instance.
 
     .. deprecated::
         The ``engine`` keyword and the engine names ``"serial"``/``"parallel"``

@@ -1,7 +1,7 @@
 """Engine-equivalence harness: compare runs across executor strategies.
 
 The execution engine's contract is that every executor strategy (inline,
-thread, process) produces the same
+thread, process, distributed) produces the same
 :class:`~repro.execution.tracker.RunStats` — outputs, node states, charged
 times under a deterministic cost model, materialization decisions,
 materialized-node sets and recorded statistics — with only wall-clock and
@@ -39,9 +39,9 @@ dependent: pickling memoizes shared sub-objects by identity, and a value
 that crossed a process boundary can re-pickle a few bytes larger or smaller
 than its in-process twin with identical logical content.  Synthetic DAGs
 (scalar values) are unaffected; for real workloads compared across the
-process executor, pass ``include_storage=False`` (the estimated
-``node_sizes``, which feed the cost model, always participate and always
-match).
+process or distributed executors, pass ``include_storage=False`` (the
+estimated ``node_sizes``, which feed the cost model, always participate and
+always match).
 """
 
 from __future__ import annotations
@@ -256,9 +256,22 @@ class ExecutorRig:
 
     The rig owns a fresh :class:`InMemoryStore` and :class:`StatsStore` and a
     deterministic :class:`SimulatedCostModel`, so charged times are
-    comparable bit-for-bit across strategies.  ``executor`` accepts the
-    canonical names (``"inline"``/``"thread"``/``"process"``) as well as the
-    legacy aliases (``"serial"``/``"parallel"``).
+    comparable bit-for-bit across strategies.
+
+    Parameters
+    ----------
+    executor:
+        A canonical executor name (``"inline"``/``"thread"``/``"process"``/
+        ``"distributed"``) or one of the legacy aliases
+        (``"serial"``/``"parallel"``).
+    policy:
+        Materialization policy (default: streaming OPT-MAT-PLAN).
+    budget_bytes:
+        Storage budget for the rig's in-memory store (``None`` = unlimited).
+    max_workers:
+        Worker count for pool-backed strategies.
+    seed:
+        Seed for the rig's :class:`RunContext`.
     """
 
     def __init__(
@@ -385,7 +398,34 @@ def assert_executors_equivalent(
     include_storage: bool = True,
     **matrix_kwargs,
 ) -> Tuple[Dict[str, ExecutorRig], Dict[str, MatrixRun]]:
-    """Run :func:`run_executor_matrix` and assert the whole matrix agrees."""
+    """Run :func:`run_executor_matrix` and assert the whole matrix agrees.
+
+    Parameters
+    ----------
+    dag:
+        The workflow DAG to drive through the two-iteration lifecycle.
+    executors:
+        Strategy names to compare; defaults to every built-in
+        (:data:`EXECUTOR_NAMES` — inline, thread, process, distributed).
+        The first entry is the reference.
+    include_times / include_storage:
+        Forwarded to :func:`assert_equivalent_runs`; disable
+        ``include_storage`` for real workloads compared across a process
+        boundary (module docstring).
+    **matrix_kwargs:
+        Forwarded to :func:`run_executor_matrix` (``policy_factory``,
+        ``budget_bytes``, ``max_workers``, ``forced_second``).
+
+    Returns
+    -------
+    The ``(rigs, runs)`` pair from :func:`run_executor_matrix`, for further
+    inspection.
+
+    Raises
+    ------
+    AssertionError
+        Listing every mismatching field of the first non-equivalent run.
+    """
     rigs, runs = run_executor_matrix(dag, executors=executors, **matrix_kwargs)
     assert_executor_matrix_equivalent(
         rigs, runs, include_times=include_times, include_storage=include_storage

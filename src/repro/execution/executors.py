@@ -8,7 +8,7 @@ near-duplicate engines:
   decisions + eviction), stats recording.  This lives in one place:
   :class:`~repro.execution.engine.ExecutionEngine`.
 * **Task dispatch** — actually running one node's load/compute somewhere.
-  That is this module's :class:`Executor` strategy, with three built-ins:
+  That is this module's :class:`Executor` strategy, with four built-ins:
 
   - :class:`InlineExecutor` (``"inline"``) — tasks run synchronously on the
     scheduler thread.  The reference strategy; replaces the old serial
@@ -24,6 +24,14 @@ near-duplicate engines:
     LOAD tasks (store reads) and all bookkeeping stay in the coordinating
     process.  Best for CPU-bound pure-Python operators, which scale with
     cores instead of fighting over the GIL.
+  - :class:`DistributedExecutor` (``"distributed"``) — COMPUTE payloads are
+    dispatched over TCP (length-prefixed frames, see the wire format in
+    :mod:`repro.storage.serialization`) to long-lived
+    :class:`WorkerServer` processes that register with the coordinator,
+    heartbeat, and ack each task.  Tasks assigned to a worker that dies are
+    requeued to a surviving worker (bounded attempts).  Same process-safety
+    contract as ``"process"``; the transport is host-agnostic even though
+    the built-in launcher spawns workers locally.
 
 The engine drives an executor through one run as
 ``start -> submit*/submit_payload* -> next_completion* -> shutdown``; when
@@ -31,7 +39,9 @@ configured by name it builds a fresh instance per ``execute`` call
 (:func:`create_executor`), and a user-supplied instance is reset for reuse
 by ``start``.  Completions are delivered through an internal queue as
 ``(key, outcome, error)`` triples, so the engine's scheduling loop is
-identical across strategies.
+identical across strategies.  The full contract — required methods,
+generation-stamped completion queues, process-safety rules, how to plug in
+a custom strategy — is documented in ``docs/executors.md``.
 
 The legacy engine names ``"serial"`` and ``"parallel"`` remain accepted
 everywhere an executor name is (:data:`LEGACY_ENGINE_ALIASES`); they are
@@ -40,23 +50,29 @@ deprecated spellings of ``"inline"`` and ``"thread"``.
 
 from __future__ import annotations
 
+import itertools
+import multiprocessing
 import os
 import queue
+import socket
 import threading
 import time
 from abc import ABC, abstractmethod
+from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import wait as wait_futures
-from typing import Any, Callable, Dict, Optional, Set, Tuple, Type, Union
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple, Type, Union
 
-from ..exceptions import ExecutionError, OperatorError
-from ..storage.serialization import deserialize, serialize
+from ..exceptions import ExecutionError, OperatorError, ProtocolError
+from ..storage.serialization import deserialize, recv_frame, send_frame, serialize
 
 __all__ = [
     "Executor",
     "InlineExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "DistributedExecutor",
+    "WorkerServer",
     "EXECUTOR_NAMES",
     "LEGACY_ENGINE_ALIASES",
     "resolve_executor_name",
@@ -67,7 +83,7 @@ __all__ = [
 ]
 
 #: Canonical executor strategy names.
-EXECUTOR_NAMES = ("inline", "thread", "process")
+EXECUTOR_NAMES = ("inline", "thread", "process", "distributed")
 
 #: Deprecated engine names from the PR 2 serial/parallel split, still accepted
 #: by every name-taking entry point (``create_engine``, ``configure_engine``,
@@ -144,10 +160,17 @@ class Executor(ABC):
     """Strategy interface: run node tasks, deliver completions through a queue.
 
     Subclasses dispatch work somewhere (scheduler thread, thread pool,
-    process pool) and push :data:`Completion` triples onto ``self._results``;
-    the engine consumes them with :meth:`next_completion`.  One
-    ``start``/``shutdown`` cycle serves one ``ExecutionEngine.execute`` call;
-    ``start`` resets the instance so it can serve another run afterwards.
+    process pool, remote workers) and push :data:`Completion` triples onto
+    ``self._results``; the engine consumes them with :meth:`next_completion`.
+    One ``start``/``finish_run`` cycle serves one ``ExecutionEngine.execute``
+    call; ``start`` opens a fresh run generation so the instance can serve
+    another run afterwards, and :meth:`shutdown` releases worker resources
+    for good.  A custom strategy must provide :attr:`name`, :meth:`submit`,
+    and — when :attr:`out_of_process` is true — :meth:`submit_payload`;
+    everything else has working defaults.  The full contract, including the
+    generation-stamped completion-queue semantics and the process-safety
+    rules out-of-process strategies inherit, is documented in
+    ``docs/executors.md``.
     """
 
     #: Canonical strategy name (registry key and display name).
@@ -321,7 +344,43 @@ class ThreadExecutor(Executor):
             self._pool = None
 
 
-class ProcessExecutor(Executor):
+class _OutOfProcessExecutor(Executor):
+    """Shared LOAD lane for executors whose COMPUTE workers live elsewhere.
+
+    Workers have no store, so LOAD tasks (and any other in-process work the
+    engine submits) run on a small coordinator-side I/O thread pool — the
+    same thread-safe substrate the thread executor uses — rather than the
+    scheduler thread, so a slow store read never stalls COMPUTE dispatch to
+    idle workers.  Subclasses must set ``self.max_workers`` before calling
+    :meth:`_start_io_pool`, and release the pool via
+    :meth:`_shutdown_io_pool`.
+    """
+
+    out_of_process = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._io_pool: Optional[ThreadPoolExecutor] = None
+
+    def submit(self, key: str, fn: Callable[[], Any]) -> None:
+        """Run an in-process task (store LOAD) on the coordinator's I/O pool."""
+        assert self._io_pool is not None, "executor used before start()"
+        self._track(key, self._io_pool.submit(fn), self._deliver_future)
+
+    # ------------------------------------------------------------------ helpers
+    def _start_io_pool(self) -> None:
+        if self._io_pool is None:
+            self._io_pool = ThreadPoolExecutor(
+                max_workers=min(4, self.max_workers), thread_name_prefix="repro-io"
+            )
+
+    def _shutdown_io_pool(self, cancel: bool = False) -> None:
+        if self._io_pool is not None:
+            self._io_pool.shutdown(wait=True, cancel_futures=cancel)
+            self._io_pool = None
+
+
+class ProcessExecutor(_OutOfProcessExecutor):
     """COMPUTE tasks run on a ``ProcessPoolExecutor``; everything else inline.
 
     The engine serializes ``(node_name, operator, inputs, context)`` with
@@ -341,7 +400,6 @@ class ProcessExecutor(Executor):
     """
 
     name = "process"
-    out_of_process = True
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         super().__init__()
@@ -351,23 +409,12 @@ class ProcessExecutor(Executor):
             int(max_workers) if max_workers is not None else default_process_workers()
         )
         self._pool: Optional[ProcessPoolExecutor] = None
-        self._io_pool: Optional[ThreadPoolExecutor] = None
 
     def start(self) -> None:
         super().start()
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
-        if self._io_pool is None:
-            self._io_pool = ThreadPoolExecutor(
-                max_workers=min(4, self.max_workers), thread_name_prefix="repro-io"
-            )
-
-    def submit(self, key: str, fn: Callable[[], Any]) -> None:
-        # In-process tasks (store loads) need the store, which workers do not
-        # have; they run on the I/O thread pool so a slow read does not block
-        # the scheduler from feeding COMPUTE payloads to idle workers.
-        assert self._io_pool is not None, "executor used before start()"
-        self._track(key, self._io_pool.submit(fn), self._deliver_future)
+        self._start_io_pool()
 
     def submit_payload(self, key: str, payload: bytes) -> None:
         assert self._pool is not None, "executor used before start()"
@@ -377,9 +424,7 @@ class ProcessExecutor(Executor):
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=cancel)
             self._pool = None
-        if self._io_pool is not None:
-            self._io_pool.shutdown(wait=True, cancel_futures=cancel)
-            self._io_pool = None
+        self._shutdown_io_pool(cancel)
 
     # ------------------------------------------------------------------ helpers
     def _deliver_reply(
@@ -393,10 +438,679 @@ class ProcessExecutor(Executor):
             results.put((key, outcome, None))
 
 
+# ---------------------------------------------------------------------------
+# Distributed executor: TCP coordinator + long-lived worker processes
+# ---------------------------------------------------------------------------
+def _send_message(sock: socket.socket, message: Any, lock: Optional[threading.Lock] = None) -> None:
+    """Serialize ``message`` and send it as one frame (optionally locked)."""
+    frame = serialize(message)
+    if lock is None:
+        send_frame(sock, frame)
+    else:
+        with lock:
+            send_frame(sock, frame)
+
+
+def _recv_message(sock: socket.socket) -> Optional[Any]:
+    """Receive one framed message; ``None`` when the peer closed cleanly."""
+    frame = recv_frame(sock)
+    if frame is None:
+        return None
+    return deserialize(frame)
+
+
+def _picklable_error(key: str, error: BaseException) -> BaseException:
+    """Ensure a worker-side failure can cross the wire.
+
+    :func:`run_serialized_task` already wraps operator failures into the
+    picklable :class:`OperatorError`; this is the safety net for anything
+    else (e.g. an exotic exception raised while framing the reply).
+    """
+    try:
+        deserialize(serialize(error))
+        return error
+    except Exception:  # noqa: BLE001 - anything unpicklable gets re-wrapped
+        return OperatorError(key, f"worker failed with unpicklable error: {error!r}")
+
+
+class WorkerServer:
+    """Worker-side loop of the distributed executor.
+
+    Connects to a coordinator, registers, then serves ``task`` messages one
+    at a time: each task is acked on receipt, executed via
+    :func:`run_serialized_task`, and answered with a ``result`` (or a
+    picklable ``error``).  A background thread heartbeats every
+    ``heartbeat_interval`` seconds so the coordinator can distinguish a
+    busy worker from a dead one.  The loop exits on a ``shutdown`` message
+    or when the coordinator's connection closes.
+
+    Parameters
+    ----------
+    host, port:
+        The coordinator's listening address.
+    worker_id:
+        Identity announced at registration; defaults to ``pid<os.getpid()>``.
+    heartbeat_interval:
+        Seconds between heartbeats.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        worker_id: Optional[str] = None,
+        heartbeat_interval: float = 0.5,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.worker_id = worker_id if worker_id is not None else f"pid{os.getpid()}"
+        self.heartbeat_interval = heartbeat_interval
+
+    def serve(self) -> None:
+        """Register with the coordinator and serve tasks until told to stop."""
+        sock = socket.create_connection((self.host, self.port))
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        send_lock = threading.Lock()
+        stop = threading.Event()
+        _send_message(sock, ("register", self.worker_id, os.getpid()), send_lock)
+
+        def _heartbeat() -> None:
+            while not stop.wait(self.heartbeat_interval):
+                try:
+                    _send_message(sock, ("heartbeat", self.worker_id), send_lock)
+                except OSError:
+                    return
+
+        threading.Thread(
+            target=_heartbeat, daemon=True, name=f"repro-dist-hb-{self.worker_id}"
+        ).start()
+        try:
+            while True:
+                message = _recv_message(sock)
+                if message is None or message[0] == "shutdown":
+                    break
+                if message[0] != "task":
+                    continue
+                _, key, payload = message
+                _send_message(sock, ("ack", self.worker_id, key), send_lock)
+                try:
+                    reply = run_serialized_task(payload)
+                except BaseException as exc:  # noqa: BLE001 - shipped back typed
+                    _send_message(
+                        sock, ("error", key, _picklable_error(key, exc)), send_lock
+                    )
+                    continue
+                try:
+                    _send_message(sock, ("result", key, reply), send_lock)
+                except OSError:
+                    raise  # coordinator gone; nobody to report to
+                except Exception as exc:  # noqa: BLE001 - e.g. reply over frame limit
+                    # The reply could not be framed (not a transport problem):
+                    # report it as a task error instead of dying and dragging
+                    # the run through pointless worker-death retries.
+                    _send_message(
+                        sock,
+                        ("error", key, OperatorError(key, f"result reply could not be framed: {exc}")),
+                        send_lock,
+                    )
+        finally:
+            stop.set()
+            sock.close()
+
+
+def _distributed_worker_main(
+    host: str, port: int, worker_id: str, heartbeat_interval: float
+) -> None:
+    """Entry point of a spawned worker process (module-level: spawn-safe)."""
+    WorkerServer(
+        host, port, worker_id=worker_id, heartbeat_interval=heartbeat_interval
+    ).serve()
+
+
+class _DistributedTask:
+    """One COMPUTE payload travelling through the coordinator."""
+
+    __slots__ = ("key", "payload", "results", "attempts", "acked", "done")
+
+    def __init__(self, key: str, payload: bytes, results: "queue.Queue[Completion]"):
+        self.key = key
+        self.payload = payload
+        #: The completion queue of the run that submitted this task.  Binding
+        #: it at submit time makes delivery generation-safe: a straggler from
+        #: a previous run posts into that run's discarded queue, never ours.
+        self.results = results
+        self.attempts = 0
+        self.acked = False
+        self.done = False
+
+
+class _WorkerHandle:
+    """Coordinator-side record of one worker process."""
+
+    __slots__ = ("worker_id", "process", "pid", "sock", "send_lock", "alive", "last_seen", "inflight")
+
+    def __init__(self, worker_id: str):
+        self.worker_id = worker_id
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.pid: Optional[int] = None
+        self.sock: Optional[socket.socket] = None
+        self.send_lock = threading.Lock()
+        self.alive = True
+        self.last_seen = time.monotonic()
+        self.inflight: Dict[str, _DistributedTask] = {}
+
+
+class DistributedExecutor(_OutOfProcessExecutor):
+    """COMPUTE tasks run on worker *processes* reached over local TCP sockets.
+
+    The coordinator (this object) listens on ``127.0.0.1``, spawns
+    ``max_workers`` long-lived :class:`WorkerServer` processes that connect
+    back and register, and dispatches serialized COMPUTE payloads to idle
+    workers as length-prefixed frames (wire format in
+    :mod:`repro.storage.serialization`).  Workers ack each task on receipt
+    (so failure reports can tell a worker that died mid-task from one that
+    died before starting it), heartbeat while idle or busy, and return the
+    serialized ``(value, measured_seconds)`` reply, deserialized here before
+    delivery —
+    exactly the :class:`ProcessExecutor` reply contract, so the engine
+    applies the cost model identically.
+
+    Failure handling: a worker that dies (socket EOF, dead process, or
+    missed heartbeats for ``heartbeat_timeout`` seconds) has its in-flight
+    tasks requeued to surviving workers; a task dispatched
+    ``max_task_attempts`` times without a reply — or orphaned when no worker
+    survives — fails with an :class:`ExecutionError` naming it.  Operators
+    must satisfy the same purity/picklability contract as the process
+    executor (replayed tasks re-run the operator, which is safe only
+    because operators are pure functions of their inputs).
+
+    LOAD tasks and all bookkeeping stay in the coordinating process, on the
+    same small I/O thread pool the process executor uses.  ``start`` on a
+    reused instance keeps surviving workers and respawns dead ones, so a
+    lifecycle amortizes worker startup; ``finish_run`` drains without
+    releasing the pool and ``shutdown`` sends every worker a graceful
+    ``shutdown`` frame before reaping it.  Workers are spawned with the
+    platform's default multiprocessing start method — the same deliberate
+    trade-off the process executor documents (fast forks on Linux; the
+    entry point is module-level, so spawn-based platforms work too).
+
+    Parameters
+    ----------
+    max_workers:
+        Number of worker processes (default: one per core).
+    heartbeat_interval:
+        Seconds between worker heartbeats.
+    heartbeat_timeout:
+        Silence (no frame of any kind) after which a worker is declared
+        dead.  ``None`` (default) derives ``max(5, 10 * heartbeat_interval)``;
+        an explicit value must exceed ``heartbeat_interval`` or every
+        healthy-but-busy worker would be declared dead.  Socket EOF and
+        process exit are detected immediately; for locally-spawned workers
+        the process handle is authoritative, so silence alone never kills a
+        provably-alive worker (a GIL-holding C call can starve the
+        heartbeat thread).  The timeout matters for workers without a local
+        process handle (a future remote launcher).
+    max_task_attempts:
+        Dispatch attempts per task before it fails.
+    start_timeout:
+        Seconds to wait for spawned workers to register before ``start``
+        raises.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: Optional[float] = None,
+        max_task_attempts: int = 3,
+        start_timeout: float = 30.0,
+    ) -> None:
+        super().__init__()
+        if max_workers is not None and max_workers < 1:
+            raise ExecutionError("max_workers must be at least 1")
+        self.max_workers = (
+            int(max_workers) if max_workers is not None else default_process_workers()
+        )
+        if max_task_attempts < 1:
+            raise ExecutionError("max_task_attempts must be at least 1")
+        if heartbeat_interval <= 0:
+            raise ExecutionError("heartbeat_interval must be positive")
+        if heartbeat_timeout is None:
+            heartbeat_timeout = max(5.0, 10.0 * heartbeat_interval)
+        elif heartbeat_timeout <= heartbeat_interval:
+            raise ExecutionError(
+                f"heartbeat_timeout ({heartbeat_timeout:g}s) must exceed "
+                f"heartbeat_interval ({heartbeat_interval:g}s), or every "
+                f"healthy worker would be declared dead between beats"
+            )
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_task_attempts = max_task_attempts
+        self.start_timeout = start_timeout
+
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: Deque[_DistributedTask] = deque()
+        self._workers: Dict[str, _WorkerHandle] = {}
+        self._outstanding = 0
+        self._cancelling = False
+        self._stopping = False
+        self._worker_seq = itertools.count()
+        self._stop_event = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._port: Optional[int] = None
+        self._threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Open a run generation; bring the worker pool up to strength.
+
+        First use opens the listener and spawns ``max_workers`` workers; a
+        reused instance keeps surviving workers and only respawns dead ones.
+        Blocks until every worker has registered (``start_timeout``).
+        """
+        super().start()
+        self._start_io_pool()
+        if self._listener is None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(self.max_workers + 8)
+            # A timeout lets the accept loop poll the stop flag: closing a
+            # socket does not reliably wake a thread blocked in accept().
+            listener.settimeout(0.25)
+            self._listener = listener
+            self._port = listener.getsockname()[1]
+            self._stopping = False
+            self._stop_event.clear()
+            self._threads = [
+                threading.Thread(target=loop, daemon=True, name=f"repro-dist-{label}")
+                for label, loop in (
+                    ("accept", self._accept_loop),
+                    ("dispatch", self._dispatch_loop),
+                    ("monitor", self._monitor_loop),
+                )
+            ]
+            for thread in self._threads:
+                thread.start()
+        with self._cond:
+            for worker_id in [w for w, h in self._workers.items() if not h.alive]:
+                del self._workers[worker_id]
+            missing = self.max_workers - len(self._workers)
+        for _ in range(missing):
+            self._spawn_worker()
+        self._await_registration()
+
+    def submit_payload(self, key: str, payload: bytes) -> None:
+        """Queue one serialized COMPUTE task for dispatch to an idle worker."""
+        task = _DistributedTask(key, payload, self._results)
+        with self._cond:
+            if self._listener is None:
+                raise ExecutionError("executor used before start()")
+            if not any(handle.alive for handle in self._workers.values()):
+                raise ExecutionError(
+                    "distributed executor has no live workers to dispatch to"
+                )
+            self._outstanding += 1
+            self._queue.append(task)
+            self._cond.notify_all()
+
+    def finish_run(self, cancel: bool = False) -> None:
+        """Drain this run without releasing workers.
+
+        Waits until every submitted task has been delivered (or, with
+        ``cancel``, drops tasks still queued on the coordinator — matching
+        the pool executors, a cancelled never-dispatched task produces no
+        completion).  In-flight tasks always run to completion or to their
+        worker's death.
+        """
+        super().finish_run(cancel=cancel)
+        with self._cond:
+            if cancel:
+                self._cancelling = True
+                while self._queue:
+                    task = self._queue.pop()
+                    if task.done:
+                        continue  # completed elsewhere while still queued
+                    task.done = True
+                    self._outstanding -= 1
+            while self._outstanding > 0:
+                self._cond.wait(timeout=0.1)
+            self._cancelling = False
+            self._cond.notify_all()
+
+    def shutdown(self, cancel: bool = False) -> None:
+        """Drain, then gracefully stop workers and release the transport.
+
+        Every worker gets a ``shutdown`` frame and a grace period before
+        being terminated; the listener and coordinator threads are released.
+        The instance can be ``start``-ed again afterwards.
+        """
+        if self._listener is None and self._io_pool is None:
+            return
+        self.finish_run(cancel=cancel)
+        with self._cond:
+            self._stopping = True
+            handles = list(self._workers.values())
+            self._workers.clear()
+            self._cond.notify_all()
+        self._stop_event.set()
+        for handle in handles:
+            if handle.sock is not None:
+                try:
+                    _send_message(handle.sock, ("shutdown",), handle.send_lock)
+                except OSError:
+                    pass
+        for handle in handles:
+            if handle.process is not None:
+                handle.process.join(timeout=2.0)
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join(timeout=1.0)
+            if handle.sock is not None:
+                handle.sock.close()
+        if self._listener is not None:
+            try:
+                # Wake the accept loop immediately instead of letting it wait
+                # out its poll interval (the dummy peer sends no registration).
+                socket.create_connection(("127.0.0.1", self._port), timeout=0.5).close()
+            except OSError:
+                pass
+            self._listener.close()
+            self._listener = None
+            self._port = None
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._threads = []
+        self._shutdown_io_pool(cancel)
+
+    # ------------------------------------------------------------------ introspection
+    def worker_pids(self) -> Dict[str, int]:
+        """PIDs of currently-registered live workers, keyed by worker id."""
+        with self._lock:
+            return {
+                worker_id: handle.pid
+                for worker_id, handle in self._workers.items()
+                if handle.alive and handle.pid is not None
+            }
+
+    @property
+    def address(self) -> Optional[Tuple[str, int]]:
+        """The coordinator's listening ``(host, port)``, once started."""
+        return ("127.0.0.1", self._port) if self._port is not None else None
+
+    # ------------------------------------------------------------------ workers
+    def _spawn_worker(self) -> None:
+        worker_id = f"w{next(self._worker_seq)}"
+        handle = _WorkerHandle(worker_id)
+        with self._cond:
+            self._workers[worker_id] = handle
+        process = multiprocessing.get_context().Process(
+            target=_distributed_worker_main,
+            args=("127.0.0.1", self._port, worker_id, self.heartbeat_interval),
+            daemon=True,
+            name=f"repro-dist-{worker_id}",
+        )
+        handle.process = process
+        process.start()
+        handle.pid = process.pid
+
+    def _await_registration(self) -> None:
+        deadline = time.monotonic() + self.start_timeout
+        with self._cond:
+            while True:
+                pending = [
+                    h for h in self._workers.values() if h.alive and h.sock is None
+                ]
+                if not pending:
+                    break
+                if time.monotonic() > deadline:
+                    raise ExecutionError(
+                        f"distributed executor: {len(pending)} of "
+                        f"{self.max_workers} workers failed to register within "
+                        f"{self.start_timeout:.0f}s"
+                    )
+                self._cond.wait(timeout=0.1)
+            if not any(h.alive for h in self._workers.values()):
+                raise ExecutionError(
+                    "distributed executor: every worker died during startup"
+                )
+
+    # ------------------------------------------------------------------ coordinator loops
+    def _accept_loop(self) -> None:
+        """Accept worker connections and match registrations to handles."""
+        listener = self._listener
+        while True:
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                with self._lock:
+                    if self._stopping:
+                        return
+                continue
+            except OSError:
+                return  # listener closed by shutdown
+            with self._lock:
+                if self._stopping:
+                    conn.close()
+                    return  # the wake-up connection from shutdown()
+            # Bound the registration read so one silent peer cannot wedge the
+            # accept loop; a registered worker's socket then blocks freely.
+            conn.settimeout(5.0)
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                message = _recv_message(conn)
+                conn.settimeout(None)
+            except Exception:  # noqa: BLE001 - reject peers that talk garbage
+                conn.close()
+                continue
+            if not (
+                isinstance(message, tuple)
+                and len(message) == 3
+                and message[0] == "register"
+            ):
+                conn.close()
+                continue
+            _, worker_id, pid = message
+            with self._cond:
+                handle = self._workers.get(worker_id)
+                known = handle is not None and handle.alive and handle.sock is None
+                if known:
+                    handle.sock = conn
+                    handle.pid = pid
+                    handle.last_seen = time.monotonic()
+                    self._cond.notify_all()
+            if not known:
+                conn.close()
+                continue
+            threading.Thread(
+                target=self._receive_loop,
+                args=(handle,),
+                daemon=True,
+                name=f"repro-dist-recv-{worker_id}",
+            ).start()
+
+    def _dispatch_loop(self) -> None:
+        """Move queued tasks onto idle workers, one task per worker at a time."""
+        while True:
+            with self._cond:
+                worker = None
+                while not self._stopping:
+                    if self._queue:
+                        worker = self._pick_idle_worker()
+                        if worker is not None:
+                            break
+                    self._cond.wait(timeout=0.5)
+                if self._stopping:
+                    return
+                task = self._queue.popleft()
+                task.attempts += 1
+                task.acked = False
+                worker.inflight[task.key] = task
+            try:
+                _send_message(
+                    worker.sock, ("task", task.key, task.payload), worker.send_lock
+                )
+            except OSError:
+                self._worker_failed(worker)
+            except Exception as exc:  # noqa: BLE001 - e.g. unframeable payload
+                # The frame never left this process (say, a payload above the
+                # frame limit): that is a *task* failure, not a worker death —
+                # fail the task, keep the worker and the dispatch loop alive.
+                with self._cond:
+                    worker.inflight.pop(task.key, None)
+                    self._cond.notify_all()
+                self._complete(
+                    task,
+                    None,
+                    ExecutionError(
+                        f"distributed task {task.key!r} could not be sent to "
+                        f"worker {worker.worker_id!r}: {exc}"
+                    ),
+                )
+
+    def _pick_idle_worker(self) -> Optional[_WorkerHandle]:
+        """The first registered live worker with no task in flight (lock held)."""
+        for handle in self._workers.values():
+            if handle.alive and handle.sock is not None and not handle.inflight:
+                return handle
+        return None
+
+    def _receive_loop(self, worker: _WorkerHandle) -> None:
+        """Consume one worker's frames until its connection ends."""
+        while True:
+            try:
+                message = _recv_message(worker.sock)
+            except Exception:  # noqa: BLE001 - treat any transport error as death
+                message = None
+            if message is None:
+                break
+            worker.last_seen = time.monotonic()
+            kind = message[0]
+            if kind == "ack":
+                with self._lock:
+                    task = worker.inflight.get(message[2])
+                    if task is not None:
+                        task.acked = True
+            elif kind == "result":
+                self._task_finished(worker, message[1], reply=message[2])
+            elif kind == "error":
+                self._task_finished(worker, message[1], error=message[2])
+            # heartbeats only refresh last_seen, done above
+        self._worker_failed(worker)
+
+    def _monitor_loop(self) -> None:
+        """Declare workers dead on process exit or prolonged heartbeat silence."""
+        while not self._stop_event.wait(min(0.2, self.heartbeat_interval)):
+            with self._cond:
+                if self._stopping:
+                    return
+                handles = list(self._workers.values())
+            now = time.monotonic()
+            for handle in handles:
+                if not handle.alive:
+                    continue
+                process_dead = handle.process is not None and not handle.process.is_alive()
+                silent = (
+                    handle.sock is not None
+                    and now - handle.last_seen > self.heartbeat_timeout
+                )
+                # Silence alone is authoritative only when liveness cannot be
+                # probed (no local process handle): a provably-alive worker
+                # may just have its heartbeat thread starved by a GIL-holding
+                # C call, and killing it would re-execute a healthy task.
+                probeable = handle.process is not None
+                if process_dead or (silent and not probeable):
+                    self._worker_failed(handle)
+
+    # ------------------------------------------------------------------ completion + failure
+    def _task_finished(
+        self,
+        worker: _WorkerHandle,
+        key: str,
+        reply: Optional[bytes] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        with self._cond:
+            task = worker.inflight.pop(key, None)
+            self._cond.notify_all()  # the worker is idle again
+        if task is None:
+            return  # replay of a task already requeued elsewhere; first reply won
+        if error is not None:
+            self._complete(task, None, error)
+            return
+        try:
+            outcome = deserialize(reply)
+        except BaseException as exc:  # noqa: BLE001 - surfaced by the engine
+            self._complete(task, None, exc)
+        else:
+            self._complete(task, outcome, None)
+
+    def _complete(
+        self, task: _DistributedTask, outcome: Any, error: Optional[BaseException]
+    ) -> None:
+        with self._cond:
+            if task.done:
+                return
+            task.done = True
+            self._outstanding -= 1
+            self._cond.notify_all()
+        task.results.put((task.key, outcome, error))
+
+    def _worker_failed(self, worker: _WorkerHandle) -> None:
+        """Retire a dead worker; requeue or fail its in-flight tasks."""
+        failures: List[_DistributedTask] = []
+        with self._cond:
+            if not worker.alive:
+                return
+            worker.alive = False
+            orphans = list(worker.inflight.values())
+            worker.inflight.clear()
+            survivors = any(h.alive for h in self._workers.values())
+            for task in orphans:
+                if task.done:
+                    continue
+                if self._cancelling:
+                    # The run is being torn down: drop silently, like a
+                    # cancelled future (nobody reads this run's completions).
+                    task.done = True
+                    self._outstanding -= 1
+                elif task.attempts >= self.max_task_attempts or not survivors:
+                    failures.append(task)
+                else:
+                    self._queue.appendleft(task)
+            if not survivors:
+                # No worker left to drain the queue: fail queued tasks too,
+                # or the engine would wait forever on completions.
+                while self._queue:
+                    failures.append(self._queue.popleft())
+            self._cond.notify_all()
+        if worker.sock is not None:
+            worker.sock.close()
+        if worker.process is not None and not worker.process.is_alive():
+            worker.process.join(timeout=0.1)
+        for task in failures:
+            # The per-task ack tells apart a worker that died *running* the
+            # task (acked — the operator itself is suspect) from one that
+            # died before ever starting it (collateral damage).
+            phase = "while running it" if task.acked else "before starting it"
+            self._complete(
+                task,
+                None,
+                ExecutionError(
+                    f"distributed task {task.key!r} failed after {task.attempts} "
+                    f"dispatch attempt(s): worker {worker.worker_id!r} died {phase} and "
+                    f"{'no retry budget remains' if task.attempts >= self.max_task_attempts else 'no worker survives to retry it'}"
+                ),
+            )
+
+
 _EXECUTORS: Dict[str, Type[Executor]] = {
     InlineExecutor.name: InlineExecutor,
     ThreadExecutor.name: ThreadExecutor,
     ProcessExecutor.name: ProcessExecutor,
+    DistributedExecutor.name: DistributedExecutor,
 }
 
 #: What ``create_executor`` accepts: a name (canonical or legacy alias), an

@@ -3,8 +3,10 @@
 .. deprecated::
     The execution layer is now a single :class:`ExecutionEngine` lifecycle
     parameterized by a pluggable :class:`~repro.execution.executors.Executor`
-    strategy (``"inline"`` | ``"thread"`` | ``"process"``).  This module
-    remains so existing imports keep working:
+    strategy (``"inline"`` | ``"thread"`` | ``"process"`` |
+    ``"distributed"``; see ``docs/executors.md``).  There never was a
+    separate serial or parallel engine class hierarchy to return to — this
+    module remains only so existing imports keep working:
 
     * :class:`ParallelExecutionEngine` — alias for
       ``ExecutionEngine(executor="thread")``.

@@ -110,14 +110,28 @@ def run_lifecycle(
         Explicit iteration plan; overrides sampling when provided.
     executor:
         When given, reconfigure the system to run iterations on this
-        executor strategy (``"inline"``, ``"thread"`` or ``"process"``);
-        ``None`` keeps the system's current configuration.
+        executor strategy (``"inline"``, ``"thread"``, ``"process"`` or
+        ``"distributed"``); ``None`` keeps the system's current
+        configuration.  The pool-heavy names (``"process"``,
+        ``"distributed"``) are auto-pooled: the system builds one worker
+        pool, reuses it across every iteration of the lifecycle, and owns
+        its close (``system.close_executor()``; see ``docs/executors.md``).
     engine:
         Deprecated alias for ``executor`` accepting the PR 2 engine names
         (``"serial"`` -> ``"inline"``, ``"parallel"`` -> ``"thread"``).
     max_workers:
         Worker count for pool-backed executors (only used with
         ``executor``/``engine``).
+
+    Returns
+    -------
+    A :class:`LifecycleResult` with one :class:`RunStats` per iteration and
+    the derived series the figures need.
+
+    Raises
+    ------
+    ExecutionError
+        On an unknown executor name or invalid worker count.
     """
     if isinstance(workload, str):
         workload = get_workload(workload)
@@ -166,6 +180,15 @@ def run_comparison(
     ``executor``/``max_workers`` reconfigure every system's executor strategy
     for the comparison (``engine`` is the deprecated name-alias form);
     ``None`` keeps each system's own configuration.
+
+    Pool ownership: an auto-pooled executor name (``"process"``,
+    ``"distributed"``) gives **each** system an owned worker pool that stays
+    warm after this call returns — release them with
+    ``system.close_executor()`` per system (or run each inside
+    ``with system: ...``) once you are done comparing; see
+    ``docs/executors.md``.  Distributed workers are daemon processes and die
+    with the interpreter; a warm ``"process"`` pool is joined at interpreter
+    exit, so skipping the close delays exit rather than leaking.
     """
     if isinstance(workload, str):
         workload = get_workload(workload)

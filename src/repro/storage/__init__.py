@@ -1,14 +1,38 @@
-"""Materialization store: catalog, serialization and disk/in-memory backends."""
+"""Materialization store: catalog, serialization and disk/in-memory backends.
+
+Also home of the executor wire format (:func:`encode_frame` and friends):
+the distributed executor frames the same serialized payloads the store
+writes, so the framing lives next to the serializer.
+"""
 
 from .catalog import ArtifactRecord, Catalog
-from .serialization import deserialize, estimate_size_bytes, serialize, serialized_size
+from .serialization import (
+    FRAME_MAGIC,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    decode_frame,
+    deserialize,
+    encode_frame,
+    estimate_size_bytes,
+    recv_frame,
+    send_frame,
+    serialize,
+    serialized_size,
+)
 from .store import DiskStore, InMemoryStore, MaterializationStore, StoredArtifact
 
 __all__ = [
     "ArtifactRecord",
     "Catalog",
+    "FRAME_MAGIC",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "decode_frame",
     "deserialize",
+    "encode_frame",
     "estimate_size_bytes",
+    "recv_frame",
+    "send_frame",
     "serialize",
     "serialized_size",
     "DiskStore",

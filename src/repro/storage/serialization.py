@@ -1,23 +1,71 @@
-"""Serialization helpers for the materialization store.
+"""Serialization helpers for the materialization store and executor transport.
 
 Artifacts are serialized with :mod:`pickle` (protocol 4) — operator outputs
 are plain Python/NumPy objects, and the store is private to the workflow
 lifecycle, so pickle's trust model is acceptable here.  The module also
 provides :func:`estimate_size_bytes`, a cheap size estimate used when a value
 is cached in memory but has not (yet) been serialized.
+
+Wire format
+-----------
+The distributed executor ships these same serialized payloads between the
+coordinator and its workers over TCP, delimited by **length-prefixed
+frames**.  A frame is a fixed 8-byte header followed by the payload::
+
+    +-------+---------+------------------+----------------+
+    | magic | version | payload length   | payload bytes  |
+    | 2B    | 2B (BE) | 4B (BE, unsigned)| length bytes   |
+    +-------+---------+------------------+----------------+
+
+``magic`` is :data:`FRAME_MAGIC` (``b"HX"``) and ``version`` is
+:data:`PROTOCOL_VERSION`.  Every frame carries the version, so a coordinator
+and worker built from different protocol revisions fail fast with a
+:class:`~repro.exceptions.ProtocolError` on the *first* frame instead of
+misinterpreting each other's pickles.  :func:`recv_frame` distinguishes a
+clean end-of-stream at a frame boundary (returns ``None`` — the peer closed)
+from a connection lost mid-frame (raises :class:`ProtocolError`).
 """
 
 from __future__ import annotations
 
 import io
 import pickle
-from typing import Any, Tuple
+import socket
+import struct
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["serialize", "deserialize", "serialized_size", "estimate_size_bytes"]
+from ..exceptions import ProtocolError
+
+__all__ = [
+    "serialize",
+    "deserialize",
+    "serialized_size",
+    "estimate_size_bytes",
+    "FRAME_MAGIC",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frame",
+    "send_frame",
+    "recv_frame",
+]
 
 _PROTOCOL = 4
+
+#: Two-byte frame marker ("HeliX") guarding against non-frame traffic.
+FRAME_MAGIC = b"HX"
+
+#: Version of the coordinator/worker wire protocol.  Bump on any change to
+#: the frame layout *or* to the message tuples exchanged inside frames.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame's payload (1 GiB).  A length above this is
+#: treated as a corrupt header rather than an allocation request.
+MAX_FRAME_BYTES = 1 << 30
+
+_FRAME_HEADER = struct.Struct(">2sHI")
 
 
 def serialize(value: Any) -> bytes:
@@ -62,3 +110,122 @@ def estimate_size_bytes(value: Any) -> int:
         return serialized_size(value)
     except Exception:  # pragma: no cover - unpicklable exotic values
         return 256
+
+
+# ---------------------------------------------------------------------------
+# Framed wire format (distributed executor transport)
+# ---------------------------------------------------------------------------
+def encode_frame(payload: bytes, version: int = PROTOCOL_VERSION) -> bytes:
+    """Wrap ``payload`` in a length-prefixed frame.
+
+    Parameters
+    ----------
+    payload:
+        Raw bytes to frame (typically a :func:`serialize` result).
+    version:
+        Protocol version stamped into the header.  Only tests should pass a
+        non-default value (to exercise the mismatch path).
+
+    Raises
+    ------
+    ProtocolError
+        If ``payload`` exceeds :data:`MAX_FRAME_BYTES`.
+    """
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return _FRAME_HEADER.pack(FRAME_MAGIC, version, len(payload)) + payload
+
+
+def decode_frame(frame: bytes) -> bytes:
+    """Inverse of :func:`encode_frame` for a complete in-memory frame.
+
+    Returns the payload bytes.  Raises :class:`ProtocolError` on a bad magic
+    prefix, a protocol-version mismatch, a corrupt length, or trailing bytes.
+    """
+    if len(frame) < _FRAME_HEADER.size:
+        raise ProtocolError(
+            f"truncated frame: {len(frame)} bytes is shorter than the "
+            f"{_FRAME_HEADER.size}-byte header"
+        )
+    length = _check_header(frame[: _FRAME_HEADER.size])
+    payload = frame[_FRAME_HEADER.size :]
+    if len(payload) != length:
+        raise ProtocolError(
+            f"frame declares a {length}-byte payload but carries {len(payload)} bytes"
+        )
+    return payload
+
+
+def send_frame(
+    sock: socket.socket, payload: bytes, version: int = PROTOCOL_VERSION
+) -> None:
+    """Send one frame over a connected socket (blocking ``sendall``)."""
+    sock.sendall(encode_frame(payload, version=version))
+
+
+def recv_frame(sock: socket.socket) -> Optional[bytes]:
+    """Receive one complete frame from a connected socket.
+
+    Returns
+    -------
+    The payload bytes, or ``None`` when the peer closed the connection
+    cleanly at a frame boundary (end of stream).
+
+    Raises
+    ------
+    ProtocolError
+        On a bad magic prefix, a protocol-version mismatch, a corrupt
+        length, or a connection lost in the middle of a frame.
+    """
+    header = _recv_exact(sock, _FRAME_HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    length = _check_header(header)
+    if length == 0:
+        return b""
+    return _recv_exact(sock, length, eof_ok=False)
+
+
+def _check_header(header: bytes) -> int:
+    """Validate a frame header and return the declared payload length."""
+    magic, version, length = _FRAME_HEADER.unpack(header)
+    if magic != FRAME_MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {magic!r} (expected {FRAME_MAGIC!r}); the peer "
+            f"is not speaking the executor wire protocol"
+        )
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks version {version}, "
+            f"this process speaks version {PROTOCOL_VERSION}; coordinator and "
+            f"workers must run the same library revision"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame declares a {length}-byte payload, above the "
+            f"{MAX_FRAME_BYTES}-byte limit (corrupt header?)"
+        )
+    return length
+
+
+def _recv_exact(sock: socket.socket, n: int, eof_ok: bool) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; ``None`` on immediate EOF when ``eof_ok``."""
+    chunks = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except OSError as exc:
+            raise ProtocolError(f"connection lost while reading a frame: {exc}") from exc
+        if not chunk:
+            if eof_ok and remaining == n:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining} of {n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

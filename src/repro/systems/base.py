@@ -11,10 +11,22 @@ while executing it.
 All systems share the same execution substrate, so executor selection is a
 system-level toggle (:meth:`System.configure_executor`): the reuse policies
 stay untouched and only the task-dispatch strategy underneath them changes —
-``"inline"`` (reference), ``"thread"`` (latency-bound parallelism) or
-``"process"`` (CPU-bound parallelism).  The PR 2 engine API
-(:meth:`System.configure_engine`, the ``engine`` attribute, the
-``"serial"``/``"parallel"`` names) remains as a deprecated shim.
+``"inline"`` (reference), ``"thread"`` (latency-bound parallelism),
+``"process"`` (CPU-bound parallelism) or ``"distributed"`` (multi-worker
+dispatch over sockets).  The deprecated engine API from the old
+serial/parallel split (:meth:`System.configure_engine`, the ``engine``
+attribute, the ``"serial"``/``"parallel"`` names) remains as a shim that
+maps onto the executor strategies.
+
+Worker-pool ownership (also documented in ``docs/executors.md``): executors
+whose startup is expensive (``"process"``, ``"distributed"``) are
+**auto-pooled** when configured by name — the system builds one executor
+instance on first use, reuses it across every lifecycle iteration (engines
+drain it between runs instead of destroying it), and owns its final
+``shutdown`` (:meth:`System.close_executor`, also invoked when the executor
+is reconfigured, and usable via ``with system: ...``).  A ready
+:class:`Executor` *instance* passed to :meth:`System.configure_executor` is
+caller-owned: the system never shuts it down.
 """
 
 from __future__ import annotations
@@ -29,11 +41,17 @@ from ..execution.engine import ExecutionEngine, create_engine
 from ..execution.executors import (
     Executor,
     LEGACY_NAME_BY_EXECUTOR,
+    create_executor,
     resolve_executor_name,
 )
 from ..execution.tracker import RunStats
 
-__all__ = ["System"]
+__all__ = ["System", "AUTO_POOLED_EXECUTORS"]
+
+#: Name-configured executor strategies whose worker pools are expensive
+#: enough to start that the System keeps one owned instance alive across
+#: lifecycle iterations instead of paying one pool fork per iteration.
+AUTO_POOLED_EXECUTORS = ("process", "distributed")
 
 
 def _resolve_executor_arg(
@@ -71,6 +89,11 @@ class System(ABC):
     #: Worker count for pool-backed executors (None = library default).
     max_workers: Optional[int] = None
 
+    #: System-owned executor instance backing a name-configured auto-pooled
+    #: strategy (see :data:`AUTO_POOLED_EXECUTORS`); built lazily on first
+    #: engine construction and closed by :meth:`close_executor`.
+    _owned_executor: Optional[Executor] = None
+
     def __init_subclass__(cls, **kwargs):
         super().__init_subclass__(**kwargs)
         # PR 2 subclasses could declare ``engine = "parallel"`` at class
@@ -88,12 +111,35 @@ class System(ABC):
     ) -> "System":
         """Select the executor strategy used by :meth:`run_iteration`.
 
-        Accepts the canonical executor names as well as the deprecated
-        engine aliases (``"serial"`` -> ``"inline"``, ``"parallel"`` ->
-        ``"thread"``).  Passing a ready :class:`Executor` *instance* keeps
-        its worker pools alive across iterations (the per-iteration engines
-        only drain it), amortizing pool startup over a whole lifecycle —
-        the caller then owns the final ``executor.shutdown()``.
+        Parameters
+        ----------
+        executor:
+            A canonical executor name (``"inline"``, ``"thread"``,
+            ``"process"``, ``"distributed"``), one of the deprecated engine
+            aliases (``"serial"`` -> ``"inline"``, ``"parallel"`` ->
+            ``"thread"``), or a ready :class:`Executor` instance.
+        max_workers:
+            Worker count for pool-backed strategies; ``None`` uses the
+            library default.  Rejected when ``executor`` is an instance
+            (the instance already carries its own worker count).
+
+        Returns
+        -------
+        ``self``, for chaining.
+
+        Raises
+        ------
+        ExecutionError
+            On an unknown executor name, or when ``max_workers`` is combined
+            with an executor instance.
+
+        Pool ownership: the auto-pooled names (:data:`AUTO_POOLED_EXECUTORS`)
+        give this system an owned instance that is reused across lifecycle
+        iterations and closed by :meth:`close_executor`.  Passing a ready
+        instance instead keeps its worker pools alive across iterations (the
+        per-iteration engines only drain it) but leaves ownership with the
+        caller, who runs the final ``executor.shutdown()``.  Reconfiguring
+        always closes a previously-owned pool first.
         """
         if isinstance(executor, Executor):
             if max_workers is not None:
@@ -101,9 +147,14 @@ class System(ABC):
                     "max_workers cannot be combined with an executor instance; "
                     "configure the instance's own max_workers instead"
                 )
+            self.close_executor()
             self.executor_name = executor
         else:
-            self.executor_name = resolve_executor_name(executor)
+            name = resolve_executor_name(executor)
+            if name == self.executor_name and max_workers == self.max_workers:
+                return self  # no-op: keep an owned pool warm across calls
+            self.close_executor()
+            self.executor_name = name
         self.max_workers = max_workers
         return self
 
@@ -137,11 +188,58 @@ class System(ABC):
 
     @engine.setter
     def engine(self, value: str) -> None:
-        self.executor_name = resolve_executor_name(value)
+        name = resolve_executor_name(value)
+        self.close_executor()
+        self.executor_name = name
+
+    @property
+    def owned_executor(self) -> Optional[Executor]:
+        """The system-owned pool behind an auto-pooled name, if one is live.
+
+        ``None`` until the first iteration builds it (and again after
+        :meth:`close_executor`), and always ``None`` for non-pooled names or
+        caller-supplied instances.  Useful for introspection — e.g. a
+        distributed pool's ``worker_pids()``/``address`` — without touching
+        the pool's lifetime, which stays with the system.
+        """
+        return self._owned_executor
+
+    def close_executor(self) -> "System":
+        """Shut down the system-owned executor pool, if one exists.
+
+        Only touches pools the system itself built for a name-configured
+        auto-pooled strategy; a caller-supplied :class:`Executor` instance is
+        never closed here.  Safe to call repeatedly; returns ``self``.
+        """
+        owned = self._owned_executor
+        if owned is not None:
+            self._owned_executor = None
+            owned.shutdown()
+        return self
+
+    def __enter__(self) -> "System":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close_executor()
 
     def _create_engine(self, **kwargs) -> ExecutionEngine:
-        """Build the configured engine with system-provided components."""
-        return create_engine(self.executor_name, max_workers=self.max_workers, **kwargs)
+        """Build the configured engine with system-provided components.
+
+        Name-configured auto-pooled strategies (:data:`AUTO_POOLED_EXECUTORS`)
+        resolve to a lazily-built, system-owned executor instance here, so
+        every iteration's engine drains the same warm pool instead of forking
+        a fresh one (engines treat any executor *instance* as externally
+        owned and call ``finish_run`` rather than ``shutdown``).
+        """
+        spec = self.executor_name
+        if isinstance(spec, str) and spec in AUTO_POOLED_EXECUTORS:
+            if self._owned_executor is None:
+                self._owned_executor = create_executor(
+                    spec, max_workers=self.max_workers
+                )
+            return create_engine(self._owned_executor, **kwargs)
+        return create_engine(spec, max_workers=self.max_workers, **kwargs)
 
     @abstractmethod
     def run_iteration(

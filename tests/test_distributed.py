@@ -1,0 +1,475 @@
+"""Distributed executor: wire format, worker lifecycle, failure handling.
+
+The distributed executor dispatches serialized COMPUTE payloads to
+long-lived worker processes over local TCP sockets.  This suite pins down
+the pieces the other executors do not have:
+
+* **Wire format** — length-prefixed frames with a magic + protocol-version
+  header round-trip over real sockets; a version mismatch, bad magic,
+  truncated frame or mid-frame disconnect raises a typed
+  :class:`ProtocolError`; a clean close between frames reads as
+  end-of-stream.
+* **Equivalence** — the distributed strategy produces run statistics
+  identical to the inline reference on the synthetic matrix and on a real
+  (census) lifecycle, including while a worker is killed mid-run and its
+  tasks are requeued to a survivor.
+* **Failure handling** — a task whose worker keeps dying fails after
+  bounded dispatch attempts with an :class:`ExecutionError` naming it; a
+  worker crash mid-operator does not lose the task.
+* **Drain + shutdown** — ``finish_run`` drains without releasing workers,
+  ``shutdown`` reaps every worker process and the listener, and a
+  subsequent ``start`` heals the pool back to full strength.
+* **Auto-pooling** — a System configured with ``executor="process"`` or
+  ``"distributed"`` *by name* owns one pool reused across lifecycle
+  iterations, closed by ``close_executor``/``with system:``/reconfigure.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.dag import Node, WorkflowDAG
+from repro.core.operators import Operator
+from repro.core.signatures import compute_node_signatures
+from repro.exceptions import ExecutionError, ProtocolError
+from repro.execution.clock import SimulatedCostModel
+from repro.execution.engine import ExecutionEngine
+from repro.execution.equivalence import (
+    assert_equivalent_runs,
+    assert_executors_equivalent,
+)
+from repro.execution.executors import DistributedExecutor
+from repro.experiments.runner import run_lifecycle
+from repro.optimizer.metrics import StatsStore
+from repro.optimizer.oep import solve_oep
+from repro.optimizer.omp import StreamingMaterializationPolicy
+from repro.storage.serialization import (
+    FRAME_MAGIC,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    recv_frame,
+    send_frame,
+    serialize,
+)
+from repro.storage.store import InMemoryStore
+from repro.systems.base import AUTO_POOLED_EXECUTORS
+from repro.systems.helix import HelixSystem
+from repro.workloads.synthetic import make_random_dag, make_wide_dag
+
+INF = float("inf")
+
+
+class WorkerSuicideOperator(Operator):
+    """Kills its own worker process before replying — every attempt fails."""
+
+    def config(self):
+        return {}
+
+    def run(self, inputs, context):
+        os._exit(17)
+
+
+def _all_compute_plan(dag: WorkflowDAG):
+    return solve_oep(
+        dag,
+        {name: 1.0 for name in dag.node_names},
+        {name: INF for name in dag.node_names},
+        forced_compute=dag.node_names,
+    )
+
+
+def _engine_for(executor, **kwargs):
+    """An engine wired like the equivalence rig (deterministic cost model)."""
+    return ExecutionEngine(
+        store=InMemoryStore(),
+        policy=StreamingMaterializationPolicy(),
+        cost_model=SimulatedCostModel(),
+        stats=StatsStore(),
+        executor=executor,
+        **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+# ---------------------------------------------------------------------------
+class TestWireFormat:
+    def test_frame_round_trip_in_memory(self):
+        payload = serialize({"node": "n0", "value": list(range(50))})
+        assert decode_frame(encode_frame(payload)) == payload
+
+    def test_frame_round_trip_over_socket(self):
+        left, right = socket.socketpair()
+        try:
+            payloads = [b"", b"x", serialize(("task", "n0", b"blob"))]
+            for payload in payloads:
+                send_frame(left, payload)
+            for payload in payloads:
+                assert recv_frame(right) == payload
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_close_reads_as_end_of_stream(self):
+        left, right = socket.socketpair()
+        send_frame(left, b"last")
+        left.close()
+        try:
+            assert recv_frame(right) == b"last"
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_protocol_version_mismatch_rejected(self):
+        frame = encode_frame(b"payload", version=PROTOCOL_VERSION + 1)
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            decode_frame(frame)
+        left, right = socket.socketpair()
+        try:
+            left.sendall(frame)
+            with pytest.raises(ProtocolError, match="version mismatch"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_frame(b"payload"))
+        frame[:2] = b"ZZ"
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame(bytes(frame))
+
+    def test_truncated_frame_rejected(self):
+        frame = encode_frame(b"payload")
+        with pytest.raises(ProtocolError):
+            decode_frame(frame[:-3])
+        with pytest.raises(ProtocolError):
+            decode_frame(frame[:4])
+
+    def test_mid_frame_disconnect_raises(self):
+        left, right = socket.socketpair()
+        frame = encode_frame(b"x" * 100)
+        left.sendall(frame[:20])
+        left.close()
+        try:
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_header_constants_are_stable(self):
+        """The on-wire header layout is a compatibility contract."""
+        frame = encode_frame(b"abc")
+        assert frame[:2] == FRAME_MAGIC
+        assert int.from_bytes(frame[2:4], "big") == PROTOCOL_VERSION
+        assert int.from_bytes(frame[4:8], "big") == 3
+
+
+# ---------------------------------------------------------------------------
+# Equivalence (synthetic + real workload), including worker death
+# ---------------------------------------------------------------------------
+class TestDistributedEquivalence:
+    def test_synthetic_matrix_includes_distributed(self):
+        dag = make_random_dag(11, max_width=4, max_depth=4)
+        rigs, _ = assert_executors_equivalent(dag)
+        assert "distributed" in rigs
+
+    def test_kill_one_worker_mid_run_requeues_and_matches_inline(self):
+        dag = make_wide_dag(branches=6, depth=2, node_seconds=0.05)
+        signatures = compute_node_signatures(dag)
+        plan = _all_compute_plan(dag)
+        reference = _engine_for("inline").execute(dag, plan, signatures)
+
+        executor = DistributedExecutor(max_workers=2)
+        engine = _engine_for(executor)
+        executor.start()  # pre-start so a victim pid exists before execute
+        try:
+            victim = next(iter(executor.worker_pids().values()))
+            killer = threading.Timer(0.15, lambda: os.kill(victim, signal.SIGKILL))
+            killer.start()
+            stats = engine.execute(dag, plan, signatures)
+            killer.join()
+            # the victim is gone, a survivor finished its requeued tasks
+            assert len(executor.worker_pids()) == 1
+            assert_equivalent_runs(reference, stats, include_times=False)
+        finally:
+            executor.shutdown()
+
+    @pytest.mark.integration
+    def test_census_lifecycle_on_distributed_matches_inline(self):
+        reference = run_lifecycle(
+            HelixSystem.opt(cost_model=SimulatedCostModel(), seed=0),
+            "census",
+            n_iterations=2,
+            scale=0.25,
+        )
+        with HelixSystem.opt(cost_model=SimulatedCostModel(), seed=0) as system:
+            candidate = run_lifecycle(
+                system,
+                "census",
+                n_iterations=2,
+                scale=0.25,
+                executor="distributed",
+                max_workers=2,
+            )
+            assert system.executor_name == "distributed"
+        assert len(reference.iterations) == len(candidate.iterations)
+        for inline_stats, dist_stats in zip(reference.iterations, candidate.iterations):
+            # Exact serialized sizes may drift across the process boundary
+            # (see repro/execution/equivalence.py); they are re-checked with
+            # a tight relative tolerance instead.
+            assert_equivalent_runs(
+                inline_stats, dist_stats, include_times=False, include_storage=False
+            )
+            assert dist_stats.node_times == pytest.approx(
+                inline_stats.node_times, rel=1e-3
+            )
+            assert dist_stats.storage_bytes == pytest.approx(
+                inline_stats.storage_bytes, rel=1e-3
+            )
+
+
+# ---------------------------------------------------------------------------
+# Failure handling
+# ---------------------------------------------------------------------------
+class TestWorkerFailureHandling:
+    def test_task_fails_after_bounded_attempts(self):
+        """A task that kills every worker it lands on must not hang the run."""
+        dag = WorkflowDAG([Node.create("boom", WorkerSuicideOperator(), is_output=True)])
+        executor = DistributedExecutor(max_workers=2, max_task_attempts=3)
+        engine = _engine_for(executor)
+        try:
+            with pytest.raises(ExecutionError, match="boom.*dispatch attempt"):
+                engine.execute(dag, _all_compute_plan(dag), compute_node_signatures(dag))
+        finally:
+            executor.shutdown()
+
+    def test_start_heals_dead_workers(self):
+        executor = DistributedExecutor(max_workers=2)
+        try:
+            executor.start()
+            assert len(executor.worker_pids()) == 2
+            os.kill(next(iter(executor.worker_pids().values())), signal.SIGKILL)
+            deadline = time.monotonic() + 5
+            while len(executor.worker_pids()) > 1 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert len(executor.worker_pids()) == 1
+            executor.start()  # next run tops the pool back up
+            assert len(executor.worker_pids()) == 2
+        finally:
+            executor.shutdown()
+
+    def test_submit_payload_without_workers_raises(self):
+        executor = DistributedExecutor(max_workers=1)
+        with pytest.raises(ExecutionError, match="before start"):
+            executor.submit_payload("n0", b"payload")
+
+    def test_heartbeat_timeout_must_exceed_interval(self):
+        """A busy worker only beats every interval: a shorter timeout would
+        declare every healthy worker dead."""
+        with pytest.raises(ExecutionError, match="heartbeat_timeout"):
+            DistributedExecutor(
+                max_workers=1, heartbeat_interval=10.0, heartbeat_timeout=5.0
+            )
+        derived = DistributedExecutor(max_workers=1, heartbeat_interval=2.0)
+        assert derived.heartbeat_timeout == pytest.approx(20.0)
+
+    def test_unframeable_payload_fails_task_not_dispatcher(self, monkeypatch):
+        """A payload the transport cannot frame (e.g. over the frame limit)
+        must fail *that task* — not kill the dispatcher thread or the worker."""
+        import repro.execution.executors as executors_module
+        from repro.core.operators import RunContext
+        from repro.workloads.synthetic import LatencyOperator
+
+        original = executors_module._send_message
+
+        def refusing(sock, message, lock=None):
+            if isinstance(message, tuple) and message[0] == "task" and message[1] == "bad":
+                raise ProtocolError("frame payload exceeds the frame limit")
+            return original(sock, message, lock)
+
+        executor = DistributedExecutor(max_workers=1)
+        executor.start()
+        try:
+            monkeypatch.setattr(executors_module, "_send_message", refusing)
+            executor.submit_payload("bad", b"unframeable")
+            key, _, error = executor.next_completion()
+            assert key == "bad"
+            assert isinstance(error, ExecutionError)
+            assert "could not be sent" in str(error)
+            # the dispatcher and worker both survived: a good task completes
+            executor.submit_payload(
+                "good", serialize(("good", LatencyOperator(offset=1.0), [], RunContext()))
+            )
+            key, outcome, error = executor.next_completion()
+            assert key == "good" and error is None
+            assert outcome[0] == pytest.approx(1.0)
+            executor.finish_run()
+        finally:
+            executor.shutdown()
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="the worker only inherits the monkeypatch under fork",
+    )
+    def test_unframeable_reply_surfaces_as_task_error(self, monkeypatch):
+        """A worker whose *reply* cannot be framed reports a typed task error
+        instead of dying and burning retry attempts (workers are forked, so
+        the patch applied before start() is inherited)."""
+        import repro.execution.executors as executors_module
+        from repro.core.operators import RunContext
+        from repro.exceptions import OperatorError
+        from repro.workloads.synthetic import LatencyOperator
+
+        original = executors_module._send_message
+
+        def refusing(sock, message, lock=None):
+            if isinstance(message, tuple) and message[0] == "result" and message[1] == "huge":
+                raise ProtocolError("frame payload exceeds the frame limit")
+            return original(sock, message, lock)
+
+        monkeypatch.setattr(executors_module, "_send_message", refusing)
+        executor = DistributedExecutor(max_workers=1)
+        executor.start()  # fork happens with the patch in place
+        try:
+            executor.submit_payload(
+                "huge", serialize(("huge", LatencyOperator(offset=1.0), [], RunContext()))
+            )
+            key, _, error = executor.next_completion()
+            assert key == "huge"
+            assert isinstance(error, OperatorError)
+            assert "could not be framed" in str(error)
+            assert len(executor.worker_pids()) == 1  # worker survived
+            executor.finish_run()
+        finally:
+            executor.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Drain and shutdown
+# ---------------------------------------------------------------------------
+class TestDrainAndShutdown:
+    def test_finish_run_drains_without_releasing_workers(self):
+        from repro.core.operators import RunContext
+        from repro.workloads.synthetic import LatencyOperator
+
+        executor = DistributedExecutor(max_workers=2)
+        try:
+            executor.start()
+            operator = LatencyOperator(offset=1.0, sleep_seconds=0.05)
+            for index in range(4):
+                executor.submit_payload(
+                    f"n{index}", serialize((f"n{index}", operator, [], RunContext()))
+                )
+            keys = sorted(executor.next_completion()[0] for _ in range(4))
+            executor.finish_run()
+            assert keys == ["n0", "n1", "n2", "n3"]
+            assert len(executor.worker_pids()) == 2  # pool survives the drain
+        finally:
+            executor.shutdown()
+
+    def test_shutdown_reaps_workers_and_listener(self):
+        executor = DistributedExecutor(max_workers=2)
+        executor.start()
+        pids = list(executor.worker_pids().values())
+        processes = [h.process for h in executor._workers.values()]
+        assert executor.address is not None
+        executor.shutdown()
+        assert executor.address is None
+        for process in processes:
+            assert not process.is_alive()
+        del pids
+        # shutdown is idempotent and start() afterwards rebuilds the pool
+        executor.shutdown()
+        executor.start()
+        try:
+            assert len(executor.worker_pids()) == 2
+        finally:
+            executor.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# System-owned pools for name-configured executors
+# ---------------------------------------------------------------------------
+class TestAutoPooling:
+    def test_auto_pooled_names(self):
+        assert AUTO_POOLED_EXECUTORS == ("process", "distributed")
+
+    @pytest.mark.parametrize("name", AUTO_POOLED_EXECUTORS)
+    def test_name_configured_pool_reused_across_iterations(self, name):
+        system = HelixSystem.opt(cost_model=SimulatedCostModel(), seed=0)
+        system.configure_executor(name, max_workers=2)
+        try:
+            result = run_lifecycle(system, "census", n_iterations=2, scale=0.25)
+            assert len(result.iterations) == 2
+            owned = system._owned_executor
+            assert owned is not None and owned.name == name
+            if name == "process":
+                assert owned._pool is not None  # survived both iterations
+            else:
+                assert len(owned.worker_pids()) == 2
+        finally:
+            system.close_executor()
+        assert system._owned_executor is None
+
+    def test_repeat_configuration_keeps_pool_warm(self):
+        """Reconfiguring to the identical name + worker count is a no-op, so
+        repeated run_lifecycle(..., executor=...) calls reuse the pool."""
+        system = HelixSystem.opt(cost_model=SimulatedCostModel(), seed=0)
+        try:
+            run_lifecycle(
+                system, "census", n_iterations=1, scale=0.25,
+                executor="distributed", max_workers=1,
+            )
+            owned = system.owned_executor
+            assert owned is not None
+            run_lifecycle(
+                system, "census", n_iterations=1, scale=0.25,
+                executor="distributed", max_workers=1,
+            )
+            assert system.owned_executor is owned  # same warm pool
+            # a different worker count is a real reconfiguration
+            system.configure_executor("distributed", max_workers=2)
+            assert system.owned_executor is None
+            assert owned.address is None  # old pool shut down
+        finally:
+            system.close_executor()
+
+    def test_reconfigure_closes_owned_pool(self):
+        system = HelixSystem.opt(cost_model=SimulatedCostModel(), seed=0)
+        system.configure_executor("distributed", max_workers=1)
+        run_lifecycle(system, "census", n_iterations=1, scale=0.25)
+        owned = system._owned_executor
+        assert owned is not None
+        system.configure_executor("inline")
+        assert system._owned_executor is None
+        assert owned.address is None  # the distributed pool was shut down
+
+    def test_context_manager_closes_owned_pool(self):
+        with HelixSystem.opt(cost_model=SimulatedCostModel(), seed=0) as system:
+            system.configure_executor("process", max_workers=1)
+            run_lifecycle(system, "census", n_iterations=1, scale=0.25)
+            owned = system._owned_executor
+            assert owned is not None
+        assert system._owned_executor is None
+        assert owned._pool is None
+
+    def test_instance_configured_executor_stays_caller_owned(self):
+        executor = DistributedExecutor(max_workers=1)
+        try:
+            with HelixSystem.opt(cost_model=SimulatedCostModel(), seed=0) as system:
+                system.configure_executor(executor)
+                run_lifecycle(system, "census", n_iterations=1, scale=0.25)
+                assert system._owned_executor is None
+            # leaving the system must not shut down the caller's pool
+            assert executor.address is not None
+        finally:
+            executor.shutdown()

@@ -1,0 +1,33 @@
+"""Documentation link check as a tier-1 test (doc rot fails the build).
+
+Runs the same checker CI uses (``tools/check_docs.py``) over README.md,
+ROADMAP.md and docs/*.md: every relative link must point at an existing
+file and every ``#fragment`` at a real heading anchor.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CHECKER = REPO_ROOT / "tools" / "check_docs.py"
+
+
+def test_docs_links_and_anchors_are_valid():
+    result = subprocess.run(
+        [sys.executable, str(CHECKER)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, (
+        f"documentation check failed:\n{result.stderr or result.stdout}"
+    )
+
+
+def test_docs_tree_exists():
+    """The documented entry points stay where README links point."""
+    assert (REPO_ROOT / "docs" / "architecture.md").is_file()
+    assert (REPO_ROOT / "docs" / "executors.md").is_file()

@@ -1,11 +1,11 @@
-"""Engine-equivalence test harness: one lifecycle, three executor strategies.
+"""Engine-equivalence test harness: one lifecycle, four executor strategies.
 
 The execution engine's contract (see ``repro/execution/engine.py``) is that
-every executor strategy — inline, thread, process — produces the same run
-statistics modulo timing and memory residency.  This suite pins that
-contract down:
+every executor strategy — inline, thread, process, distributed — produces
+the same run statistics modulo timing and memory residency.  This suite pins
+that contract down:
 
-* **Equivalence over random DAGs** — all three executors execute identical
+* **Equivalence over random DAGs** — all four executors execute identical
   plans over seeded random DAGs (varying width/depth, mixed
   LOAD/COMPUTE/PRUNE states across two iterations, all three materialization
   policies, tight storage budgets) and must produce identical outputs, node
@@ -79,8 +79,9 @@ POLICIES = {
     "streaming": StreamingMaterializationPolicy,
 }
 
-#: Pool-backed executors (dispatch crosses a thread or process boundary).
-POOLED_EXECUTORS = ("thread", "process")
+#: Pool-backed executors (dispatch crosses a thread, process or socket
+#: boundary).
+POOLED_EXECUTORS = ("thread", "process", "distributed")
 
 
 # ---------------------------------------------------------------------------
@@ -147,6 +148,7 @@ class TestExecutorEquivalence:
             "inline": ExecutorRig("inline"),
             "thread": ExecutorRig("thread", max_workers=8),
             "process": ExecutorRig("process", max_workers=2),
+            "distributed": ExecutorRig("distributed", max_workers=2),
         }
         stats = {
             name: rig.run(dag, signatures, forced=dag.node_names)[1]
@@ -478,7 +480,7 @@ class TestInlineScheduling:
 class TestExecutorSelection:
     def test_create_engine_rejects_unknown_name(self):
         with pytest.raises(ExecutionError):
-            create_engine("distributed", store=InMemoryStore())
+            create_engine("gpu", store=InMemoryStore())
 
     def test_configure_engine_rejects_unknown_name(self):
         with pytest.raises(ExecutionError), pytest.warns(DeprecationWarning):

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Link and anchor checker for the documentation tree.
+
+Validates every relative markdown link in README.md and docs/*.md:
+
+* the target file (or directory) exists, relative to the linking file;
+* a ``#fragment`` resolves to a heading anchor in the target file, using
+  GitHub's slug rules (lowercase, punctuation stripped, spaces to dashes,
+  ``-N`` suffixes for duplicates);
+* bare ``#fragment`` links resolve within the linking file itself.
+
+External links (``http(s)://``, ``mailto:``) are not fetched.  Exits
+non-zero listing every broken link, so doc rot fails CI (wired into
+``.github/workflows/ci.yml`` and ``tests/test_docs.py``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Markdown files whose links are validated.
+DOC_FILES = ["README.md", "ROADMAP.md", *sorted(p.relative_to(REPO_ROOT).as_posix() for p in (REPO_ROOT / "docs").glob("*.md"))]
+
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def _slugify(heading: str, seen: Dict[str, int]) -> str:
+    """GitHub-style anchor slug for a heading, tracking duplicates."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # drop code-span backticks
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> link text
+    slug = re.sub(r"[^\w\- ]", "", text.lower(), flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def _anchors(path: Path) -> Set[str]:
+    """Every heading anchor defined in a markdown file."""
+    seen: Dict[str, int] = {}
+    anchors: Set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(_slugify(match.group(2), seen))
+    return anchors
+
+
+def _links(path: Path) -> List[str]:
+    """Every markdown link target in a file, code fences excluded."""
+    targets: List[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        targets.extend(match.group(1) for match in _LINK.finditer(line))
+    return targets
+
+
+def check_docs(root: Path = REPO_ROOT) -> List[str]:
+    """Return a list of human-readable problems (empty = docs are clean)."""
+    problems: List[str] = []
+    anchor_cache: Dict[Path, Set[str]] = {}
+    for rel in DOC_FILES:
+        doc = root / rel
+        if not doc.is_file():
+            problems.append(f"{rel}: documentation file is missing")
+            continue
+        for target in _links(doc):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            resolved = doc if not path_part else (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{rel}: broken link -> {target}")
+                continue
+            if fragment:
+                if resolved.suffix.lower() != ".md":
+                    problems.append(
+                        f"{rel}: fragment link into non-markdown file -> {target}"
+                    )
+                    continue
+                if resolved not in anchor_cache:
+                    anchor_cache[resolved] = _anchors(resolved)
+                if fragment.lower() not in anchor_cache[resolved]:
+                    problems.append(f"{rel}: missing anchor -> {target}")
+    return problems
+
+
+def main() -> int:
+    problems = check_docs()
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    checked = ", ".join(DOC_FILES)
+    print(f"OK: links and anchors valid in {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
