@@ -23,19 +23,27 @@ Every comparison also asserts all executors produced equivalent run
 statistics (timing excluded — the cost model here charges wall-clock).
 
 Running this file as a script (``python benchmarks/bench_fig7_scalability.py
-[--smoke] [--executor thread|process|distributed|all]``) executes the 7(c)
-comparisons standalone, without pytest-benchmark; ``--smoke`` shrinks the
-DAGs for CI and ``--executor`` selects the latency (thread), CPU (process),
-distributed, or all sections.
+[--smoke] [--executor thread|process|distributed|all] [--workers host:port,...]
+[--json PATH]``) executes the 7(c) comparisons standalone, without
+pytest-benchmark; ``--smoke`` shrinks the DAGs for CI and ``--executor``
+selects the latency (thread), CPU (process), distributed, or all sections.
+The distributed section additionally reports depth-2 **pipelined dispatch**
+vs one-task-per-worker on short latency-bound tasks (report-only — the win
+rides on the framing round trip) and, with ``--workers``, times pre-started
+remote workers (``python -m repro.execution.worker``) instead of the local
+spawn pool (report-only: remote workers share CI's cores but pay connect +
+framing per task).  ``--json`` dumps every section's measurements for the
+CI artifact upload.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import pytest
 
@@ -43,6 +51,7 @@ from repro.core.dag import WorkflowDAG
 from repro.core.signatures import compute_node_signatures
 from repro.execution.engine import create_engine
 from repro.execution.equivalence import assert_equivalent_runs
+from repro.execution.executors import DistributedExecutor, Executor
 from repro.execution.tracker import RunStats
 from repro.experiments.figures import figure7b
 from repro.experiments.report import format_series_table
@@ -132,7 +141,7 @@ EXECUTORS = ("inline", "thread", "process", "distributed")
 
 
 def _run_executor(
-    executor: str,
+    executor: Union[str, Executor],
     dag_factory: Callable[[], WorkflowDAG],
     max_workers: Optional[int] = None,
 ) -> Tuple[float, RunStats]:
@@ -140,6 +149,10 @@ def _run_executor(
 
     The wall clock includes worker-pool startup — the process executor must
     amortize fork + payload pickling to win, exactly as it must in practice.
+    ``executor`` may be a ready instance (e.g. a remote-configured
+    distributed executor); the engine then drains it between runs and the
+    caller owns its ``shutdown``, so startup amortizes across repeats just
+    as a warm pool would in production.
     """
     dag = dag_factory()
     signatures = compute_node_signatures(dag)
@@ -151,7 +164,7 @@ def _run_executor(
     )
     engine = create_engine(
         executor,
-        max_workers=max_workers,
+        max_workers=None if isinstance(executor, Executor) else max_workers,
         store=InMemoryStore(),
         policy=StreamingMaterializationPolicy(),
         stats=StatsStore(),
@@ -166,20 +179,27 @@ def run_executor_comparison(
     max_workers: int = FIG7C_MAX_WORKERS,
     repeats: int = 2,
     executors: Sequence[str] = EXECUTORS,
+    overrides: Optional[Dict[str, Executor]] = None,
 ) -> Dict[str, float]:
     """Best-of-N wall-clock for every executor on the same DAG.
 
     Also asserts all executors produced equivalent run statistics (timing
-    excluded — the cost model here charges wall-clock).  Returns
-    ``{executor}_seconds`` and ``{executor}_speedup`` (relative to inline)
-    per executor.
+    excluded — the cost model here charges wall-clock).  ``overrides`` maps
+    an executor name to a ready instance to time instead of the
+    name-configured default — e.g. ``{"distributed":
+    DistributedExecutor(workers=[...])}`` for remote workers (the caller
+    shuts overrides down).  Returns ``{executor}_seconds`` and
+    ``{executor}_speedup`` (relative to inline) per executor.
     """
     best: Dict[str, float] = {name: float("inf") for name in executors}
     best_stats: Dict[str, RunStats] = {}
     for _ in range(repeats):
         for name in executors:
+            spec: Union[str, Executor] = name
+            if overrides is not None and name in overrides:
+                spec = overrides[name]
             elapsed, stats = _run_executor(
-                name, dag_factory, max_workers=None if name == "inline" else max_workers
+                spec, dag_factory, max_workers=None if name == "inline" else max_workers
             )
             if elapsed < best[name]:
                 best[name], best_stats[name] = elapsed, stats
@@ -207,7 +227,9 @@ def _format_executor_comparison(title: str, result: Dict[str, float]) -> str:
 
 
 def _latency_comparison(
-    smoke: bool = False, executors: Sequence[str] = EXECUTORS
+    smoke: bool = False,
+    executors: Sequence[str] = EXECUTORS,
+    overrides: Optional[Dict[str, Executor]] = None,
 ) -> Dict[str, float]:
     branches, depth, node_seconds = (8, 2, 0.01) if smoke else (
         FIG7C_BRANCHES, FIG7C_DEPTH, FIG7C_NODE_SECONDS
@@ -215,19 +237,76 @@ def _latency_comparison(
     return run_executor_comparison(
         lambda: make_wide_dag(branches=branches, depth=depth, node_seconds=node_seconds),
         executors=executors,
+        overrides=overrides,
     )
 
 
 def _cpu_comparison(
-    smoke: bool = False, executors: Sequence[str] = EXECUTORS
+    smoke: bool = False,
+    executors: Sequence[str] = EXECUTORS,
+    overrides: Optional[Dict[str, Executor]] = None,
+    max_workers: int = FIG7C_MAX_WORKERS,
 ) -> Dict[str, float]:
     branches, depth, spin = (8, 1, 500_000) if smoke else (
         FIG7C_BRANCHES, FIG7C_CPU_DEPTH, FIG7C_CPU_SPIN
     )
     return run_executor_comparison(
         lambda: make_cpu_dag(branches=branches, depth=depth, spin=spin),
+        max_workers=max_workers,
         executors=executors,
+        overrides=overrides,
     )
+
+
+def run_pipeline_comparison(
+    smoke: bool = False,
+    workers: Optional[Sequence[str]] = None,
+    repeats: int = 2,
+) -> Dict[str, float]:
+    """Distributed dispatch with ``pipeline_depth`` 1 vs 2 on short tasks.
+
+    Uses the latency-bound wide DAG (many short sleeps), where the per-task
+    framing round trip is a visible fraction of the task itself — exactly
+    the regime depth-2 pipelining targets: the coordinator frames task N+1
+    onto a worker's socket while the worker still executes task N.  The
+    outcome is **report-only** (the gain rides on round-trip latency, which
+    loopback CI cannot bound reliably); both variants must still produce
+    equivalent run statistics.  Remote ``workers`` addresses are used for
+    both variants when given (sequentially — a listening worker serves one
+    coordinator at a time).
+    """
+    branches, depth, node_seconds = (8, 2, 0.005) if smoke else (
+        FIG7C_BRANCHES, FIG7C_DEPTH, 0.01
+    )
+    dag_factory = lambda: make_wide_dag(  # noqa: E731 - mirrors the sections above
+        branches=branches, depth=depth, node_seconds=node_seconds
+    )
+    best: Dict[str, float] = {}
+    best_stats: Dict[str, RunStats] = {}
+    for label, pipeline_depth in (("unpipelined", 1), ("pipelined", 2)):
+        if workers is not None:
+            executor = DistributedExecutor(workers=workers, pipeline_depth=pipeline_depth)
+        else:
+            executor = DistributedExecutor(
+                max_workers=FIG7C_MAX_WORKERS, pipeline_depth=pipeline_depth
+            )
+        try:
+            best[label] = float("inf")
+            for _ in range(repeats):
+                elapsed, stats = _run_executor(executor, dag_factory)
+                if elapsed < best[label]:
+                    best[label], best_stats[label] = elapsed, stats
+        finally:
+            executor.shutdown()
+    assert_equivalent_runs(
+        best_stats["unpipelined"], best_stats["pipelined"], include_times=False
+    )
+    return {
+        "unpipelined_seconds": best["unpipelined"],
+        "pipelined_seconds": best["pipelined"],
+        "pipeline_speedup": best["unpipelined"] / best["pipelined"],
+        "max_workers": len(workers) if workers is not None else FIG7C_MAX_WORKERS,
+    }
 
 
 def _cpu_process_bar(smoke: bool = False) -> Optional[float]:
@@ -305,16 +384,42 @@ def main(argv=None) -> int:
         help="which comparison to run: 'thread' = latency-bound section "
         "(inline vs thread), 'process' = CPU-bound section (inline vs thread "
         "vs process), 'distributed' = CPU-bound section (inline vs "
-        "distributed only), 'all' = both sections with all four executors",
+        "distributed only) plus the pipelining report, 'all' = both "
+        "sections with all four executors plus the pipelining report",
+    )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        help="comma-separated host:port addresses of pre-started remote "
+        "workers (python -m repro.execution.worker) for the distributed "
+        "section; replaces the locally-spawned worker pool",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write every section's measurements to PATH as JSON "
+        "(uploaded as a CI artifact by the distributed-remote smoke job)",
     )
     args = parser.parse_args(argv)
+    worker_addresses = (
+        [spec.strip() for spec in args.workers.split(",") if spec.strip()]
+        if args.workers
+        else None
+    )
+    if worker_addresses and args.executor not in ("distributed", "all"):
+        # Mirror run_lifecycle's guard: addresses must never be silently
+        # dropped while the user believes remote workers were measured.
+        parser.error("--workers requires --executor distributed (or all)")
     failures = []
+    sections: Dict[str, Dict[str, float]] = {}
 
     if args.executor in ("thread", "all"):
         # The thread-only section skips the process executor entirely, so its
         # pass/fail never depends on process-pool infrastructure.
         executors = EXECUTORS if args.executor == "all" else ("inline", "thread")
         result = _latency_comparison(smoke=args.smoke, executors=executors)
+        sections["latency"] = result
         print(_format_executor_comparison("latency-bound (sleeping operators)", result))
         bar = 1.5 if args.smoke else 2.0
         if result["thread_speedup"] < bar:
@@ -330,6 +435,7 @@ def main(argv=None) -> int:
         # pass/fail never depends on the TCP transport (and vice versa).
         executors = EXECUTORS if args.executor == "all" else ("inline", "thread", "process")
         result = _cpu_comparison(smoke=args.smoke, executors=executors)
+        sections["cpu"] = result
         print(_format_executor_comparison("CPU-bound (pure-Python spin loops)", result))
         if result["thread_speedup"] >= 1.3:
             failures.append(
@@ -348,24 +454,97 @@ def main(argv=None) -> int:
             print(f"OK: process {result['process_speedup']:.2f}x >= {bar:g}x (equivalent run statistics)")
 
     if args.executor in ("distributed", "all"):
-        if args.executor == "distributed":
-            result = _cpu_comparison(smoke=args.smoke, executors=("inline", "distributed"))
-            print(_format_executor_comparison("CPU-bound (pure-Python spin loops)", result))
-        # 'all' reuses the four-way CPU comparison already printed above.
+        pool_label = (
+            f"{len(worker_addresses)} remote workers ({args.workers})"
+            if worker_addresses
+            else "4 local TCP workers"
+        )
+        if args.executor == "distributed" or worker_addresses:
+            # Remote addresses always get their own two-way section — the
+            # four-way comparison above timed the locally-spawned pool.
+            overrides = None
+            if worker_addresses:
+                overrides = {"distributed": DistributedExecutor(workers=worker_addresses)}
+            try:
+                result = _cpu_comparison(
+                    smoke=args.smoke,
+                    executors=("inline", "distributed"),
+                    overrides=overrides,
+                    max_workers=(
+                        len(worker_addresses) if worker_addresses else FIG7C_MAX_WORKERS
+                    ),
+                )
+            finally:
+                if overrides is not None:
+                    overrides["distributed"].shutdown()
+            print(_format_executor_comparison(
+                f"CPU-bound (pure-Python spin loops), {pool_label}", result
+            ))
+            sections["distributed"] = result
+        # 'all' without --workers reuses the four-way CPU comparison above
+        # (already recorded as sections["cpu"]; not duplicated here).
         bar = _cpu_distributed_bar(smoke=args.smoke)
-        if bar is None:
+        if worker_addresses:
+            # Remote workers share the same cores in CI (loopback) but pay
+            # connect + framing per task; the local-spawn bar does not
+            # transfer, so the remote section is report-only.
+            print(
+                f"INFO: distributed {result['distributed_speedup']:.2f}x vs inline "
+                f"on {pool_label} (report-only; equivalent run statistics)"
+            )
+        elif bar is None:
             print("SKIP: < 4 cores, distributed speedup bar reported but not enforced")
             print(f"INFO: distributed {result['distributed_speedup']:.2f}x vs inline")
         elif result["distributed_speedup"] < bar:
             failures.append(
                 f"distributed speedup {result['distributed_speedup']:.2f}x below the "
-                f"{bar:g}x bar on the CPU-bound DAG (4 local TCP workers)"
+                f"{bar:g}x bar on the CPU-bound DAG ({pool_label})"
             )
         else:
             print(
                 f"OK: distributed {result['distributed_speedup']:.2f}x >= {bar:g}x "
                 f"(equivalent run statistics)"
             )
+
+        # Pipelined vs unpipelined dispatch on short latency-bound tasks:
+        # report-only (the win rides on the framing round trip, which
+        # loopback CI cannot bound reliably), equivalence still asserted.
+        pipeline = run_pipeline_comparison(smoke=args.smoke, workers=worker_addresses)
+        sections["pipeline"] = pipeline
+        print(
+            f"pipelining (depth 2 vs 1, short tasks, {pool_label}): "
+            f"{pipeline['unpipelined_seconds']:.3f}s -> "
+            f"{pipeline['pipelined_seconds']:.3f}s "
+            f"({pipeline['pipeline_speedup']:.2f}x)"
+        )
+        if pipeline["pipeline_speedup"] >= 1.0:
+            print(
+                f"OK: pipelined dispatch >= unpipelined "
+                f"({pipeline['pipeline_speedup']:.2f}x, report-only bar)"
+            )
+        else:
+            print(
+                f"INFO: pipelined dispatch {pipeline['pipeline_speedup']:.2f}x < 1.0x "
+                f"on this run (report-only bar; not enforced)"
+            )
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(
+                {
+                    "smoke": bool(args.smoke),
+                    "executor": args.executor,
+                    "workers": worker_addresses,
+                    "cores": os.cpu_count(),
+                    "sections": sections,
+                    "failures": failures,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"wrote measurements to {args.json}")
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

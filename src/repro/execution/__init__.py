@@ -39,6 +39,7 @@ from .executors import (
     create_executor,
     default_max_workers,
     default_process_workers,
+    parse_worker_address,
     resolve_executor_name,
 )
 from .parallel import ENGINE_NAMES, ParallelExecutionEngine
@@ -65,6 +66,7 @@ __all__ = [
     "LEGACY_ENGINE_ALIASES",
     "create_executor",
     "resolve_executor_name",
+    "parse_worker_address",
     "default_max_workers",
     "default_process_workers",
     "ParallelExecutionEngine",

@@ -72,7 +72,7 @@ from ..optimizer.metrics import StatsStore
 from ..optimizer.oep import ExecutionPlan, NodeState
 from ..optimizer.omp import MaterializationPolicy, NeverMaterialize
 from ..optimizer.pruning import out_of_scope_after
-from ..storage.serialization import estimate_size_bytes, serialize
+from ..storage.serialization import ArtifactRef, estimate_size_bytes, serialize
 from ..storage.store import MaterializationStore
 from .cache import EagerCache, OperatorCache
 from .clock import CostModel, MeasuredCostModel
@@ -98,9 +98,10 @@ class ExecutionEngine:
     ``"distributed"``, a custom :class:`Executor` subclass, or a ready
     instance; the deprecated engine names ``"serial"``/``"parallel"`` are
     accepted as aliases).  ``max_workers`` bounds the worker pool for the
-    pool-backed strategies.  A ready executor *instance* is treated as
-    externally owned: the engine drains it between runs (``finish_run``)
-    and never shuts it down.
+    pool-backed strategies; ``workers=["host:port", ...]`` selects the
+    distributed executor's remote (address-configured) worker pool.  A
+    ready executor *instance* is treated as externally owned: the engine
+    drains it between runs (``finish_run``) and never shuts it down.
     """
 
     def __init__(
@@ -114,6 +115,7 @@ class ExecutionEngine:
         materialize_outputs: bool = True,
         executor: ExecutorSpec = "inline",
         max_workers: Optional[int] = None,
+        workers: Optional[Sequence[str]] = None,
     ):
         self.store = store
         self.policy = policy if policy is not None else NeverMaterialize()
@@ -123,11 +125,13 @@ class ExecutionEngine:
         self.context = context if context is not None else RunContext()
         self.materialize_outputs = materialize_outputs
         self.max_workers = int(max_workers) if max_workers is not None else None
+        self.workers = list(workers) if workers is not None else None
         self.executor = resolve_executor_name(executor) if isinstance(executor, str) else executor
         # Fail at construction, not first execute: executor constructors
-        # validate max_workers, and create_executor rejects combining an
-        # instance with max_workers (pools are lazy, so this builds nothing).
-        create_executor(self.executor, max_workers=self.max_workers)
+        # validate max_workers/worker addresses, and create_executor rejects
+        # combining an instance with either (pools are lazy, so this builds
+        # nothing).
+        create_executor(self.executor, max_workers=self.max_workers, workers=self.workers)
 
     # ------------------------------------------------------------------ public
     def execute(
@@ -165,6 +169,10 @@ class ExecutionEngine:
         failure: Optional[BaseException] = None
 
         executor = self._build_executor()
+        # Give the executor read access to the store before any dispatch:
+        # distributed workers without the coordinator's filesystem resolve
+        # ArtifactRef inputs against it over the FETCH lane.
+        executor.bind_store(self.store)
         if executor.out_of_process:
             self._validate_process_plan(dag, plan, order, signatures)
         # Input sizes of shipped COMPUTE tasks, kept scheduler-side so the
@@ -258,7 +266,9 @@ class ExecutionEngine:
     # ------------------------------------------------------------------ dispatch
     def _build_executor(self) -> Executor:
         """The executor for one ``execute`` call (fresh unless instance-configured)."""
-        return create_executor(self.executor, max_workers=self.max_workers)
+        return create_executor(
+            self.executor, max_workers=self.max_workers, workers=self.workers
+        )
 
     def _dispatch(
         self,
@@ -272,15 +282,39 @@ class ExecutionEngine:
         """Hand one ready node to the executor."""
         state = plan.states[name]
         if executor.out_of_process and state is NodeState.COMPUTE:
-            payload, input_sizes = self._build_process_payload(dag, name)
+            payload, input_sizes = self._build_process_payload(
+                dag, name, signatures, use_refs=executor.uses_artifact_refs
+            )
             shipped_input_sizes[name] = input_sizes
             executor.submit_payload(name, payload)
             return
         executor.submit(name, partial(self._run_node, dag, name, state, signatures[name]))
 
-    def _build_process_payload(self, dag: WorkflowDAG, name: str) -> Tuple[bytes, List[int]]:
-        """Serialize one COMPUTE task for an out-of-process worker."""
+    def _build_process_payload(
+        self,
+        dag: WorkflowDAG,
+        name: str,
+        signatures: Mapping[str, str],
+        use_refs: bool = False,
+    ) -> Tuple[bytes, List[int]]:
+        """Serialize one COMPUTE task for an out-of-process worker.
+
+        With ``use_refs`` (executors whose workers fetch from the bound
+        store), inputs whose value is already materialized ship as
+        :class:`ArtifactRef` placeholders instead of inline bytes — the
+        worker pulls them over the FETCH lane and caches them, so an input
+        shared by several tasks crosses the wire once, not once per task.
+        Input *sizes* are always taken from the live cached values, so the
+        cost model sees identical numbers whichever way the value travels.
+        """
         inputs, input_sizes = self._gather_inputs(dag, name)
+        if use_refs:
+            inputs = [
+                ArtifactRef(signatures[parent])
+                if self.store.has(signatures[parent])
+                else value
+                for parent, value in zip(dag.node(name).parents, inputs)
+            ]
         try:
             payload = serialize((name, dag.node(name).operator, inputs, self.context))
         except Exception as exc:  # noqa: BLE001 - unpicklable inputs/operator
@@ -524,6 +558,7 @@ def create_engine(
     *,
     engine: Optional[str] = None,
     max_workers: Optional[int] = None,
+    workers: Optional[Sequence[str]] = None,
     **kwargs,
 ) -> ExecutionEngine:
     """Build an execution engine for an executor strategy.
@@ -537,6 +572,10 @@ def create_engine(
     max_workers:
         Worker-pool bound for pool-backed strategies; rejected when
         combined with an executor instance.
+    workers:
+        Remote worker addresses (``"host:port"``) for the distributed
+        executor's address-configured mode; rejected for other strategies
+        and when combined with an executor instance.
     **kwargs:
         Forwarded to :class:`ExecutionEngine` (store, policy, cost model,
         stats, cache, context, ...).
@@ -548,8 +587,9 @@ def create_engine(
     Raises
     ------
     ExecutionError
-        On an unknown executor name, an invalid ``max_workers``, or
-        ``max_workers`` combined with an executor instance.
+        On an unknown executor name, an invalid ``max_workers`` or worker
+        address, or ``max_workers``/``workers`` combined with an executor
+        instance.
 
     .. deprecated::
         The ``engine`` keyword and the engine names ``"serial"``/``"parallel"``
@@ -568,4 +608,6 @@ def create_engine(
             executor = engine
         else:
             executor = "inline"
-    return ExecutionEngine(executor=executor, max_workers=max_workers, **kwargs)
+    return ExecutionEngine(
+        executor=executor, max_workers=max_workers, workers=workers, **kwargs
+    )

@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.operators import RunContext
 from ..core.signatures import compute_node_signatures
@@ -58,7 +58,7 @@ from ..optimizer.omp import MaterializationPolicy, StreamingMaterializationPolic
 from ..storage.serialization import serialize
 from ..storage.store import InMemoryStore, MaterializationStore
 from .clock import SimulatedCostModel
-from .executors import EXECUTOR_NAMES
+from .executors import EXECUTOR_NAMES, Executor, ExecutorSpec
 from .tracker import RunStats
 
 __all__ = [
@@ -69,6 +69,7 @@ __all__ = [
     "stats_store_snapshot",
     "store_snapshot",
     "ExecutorRig",
+    "MatrixColumn",
     "run_executor_matrix",
     "assert_executor_matrix_equivalent",
     "assert_executors_equivalent",
@@ -262,21 +263,26 @@ class ExecutorRig:
     ----------
     executor:
         A canonical executor name (``"inline"``/``"thread"``/``"process"``/
-        ``"distributed"``) or one of the legacy aliases
-        (``"serial"``/``"parallel"``).
+        ``"distributed"``), one of the legacy aliases
+        (``"serial"``/``"parallel"``), an :class:`Executor` subclass, or a
+        ready instance — e.g. a ``DistributedExecutor(workers=[...])``
+        connected to remote workers.  An instance is treated as
+        caller-owned: the rig's engines drain it between runs and the
+        caller runs the final ``shutdown()``.
     policy:
         Materialization policy (default: streaming OPT-MAT-PLAN).
     budget_bytes:
         Storage budget for the rig's in-memory store (``None`` = unlimited).
     max_workers:
-        Worker count for pool-backed strategies.
+        Worker count for pool-backed strategies (ignored for a ready
+        instance, which already carries its own).
     seed:
         Seed for the rig's :class:`RunContext`.
     """
 
     def __init__(
         self,
-        executor: str = "inline",
+        executor: ExecutorSpec = "inline",
         policy: Optional[MaterializationPolicy] = None,
         budget_bytes: Optional[int] = None,
         max_workers: Optional[int] = None,
@@ -288,7 +294,7 @@ class ExecutorRig:
         self.stats_store = StatsStore()
         self.engine = create_engine(
             executor,
-            max_workers=max_workers,
+            max_workers=None if isinstance(executor, Executor) else max_workers,
             store=self.store,
             policy=policy if policy is not None else StreamingMaterializationPolicy(),
             cost_model=SimulatedCostModel(),
@@ -315,9 +321,24 @@ class ExecutorRig:
         return plan, self.engine.execute(dag, plan, signatures, iteration=iteration)
 
 
+#: One matrix column: a canonical executor name, or an explicit
+#: ``(label, spec)`` pair — e.g. ``("distributed-remote",
+#: DistributedExecutor(workers=[...]))`` — keyed by its label in the
+#: returned dictionaries.
+MatrixColumn = Union[str, Tuple[str, ExecutorSpec]]
+
+
+def _resolve_column(column: MatrixColumn) -> Tuple[str, ExecutorSpec]:
+    """Split a matrix column into its result key and its executor spec."""
+    if isinstance(column, tuple):
+        label, spec = column
+        return label, spec
+    return column, column
+
+
 def run_executor_matrix(
     dag,
-    executors: Sequence[str] = EXECUTOR_NAMES,
+    executors: Sequence[MatrixColumn] = EXECUTOR_NAMES,
     policy_factory=StreamingMaterializationPolicy,
     budget_bytes: Optional[int] = None,
     max_workers: int = 4,
@@ -327,15 +348,20 @@ def run_executor_matrix(
 
     Iteration 0 computes everything (and materializes per policy); iteration
     1 re-plans against the now-populated store with a deterministic forced
-    subset, producing a LOAD/COMPUTE/PRUNE mix.  Returns the rigs and the
-    per-executor :data:`MatrixRun` records, keyed by executor name.
+    subset, producing a LOAD/COMPUTE/PRUNE mix.  ``executors`` entries are
+    canonical names or ``(label, spec)`` pairs (see :data:`MatrixColumn`);
+    a spec may be a ready :class:`Executor` instance — e.g. an
+    address-configured distributed executor — which stays caller-owned (the
+    rigs drain it, the caller shuts it down).  Returns the rigs and the
+    per-executor :data:`MatrixRun` records, keyed by name/label.
     """
     signatures = compute_node_signatures(dag)
     if forced_second is None:
         forced_second = sorted(dag.node_names)[:: max(1, len(dag) // 3)]
     rigs: Dict[str, ExecutorRig] = {}
     runs: Dict[str, MatrixRun] = {}
-    for spec in executors:
+    for column in executors:
+        label, spec = _resolve_column(column)
         rig = ExecutorRig(
             spec,
             policy=policy_factory(),
@@ -344,8 +370,8 @@ def run_executor_matrix(
         )
         plan0, stats0 = rig.run(dag, signatures, forced=dag.node_names, iteration=0)
         plan1, stats1 = rig.run(dag, signatures, forced=forced_second, iteration=1)
-        rigs[spec] = rig
-        runs[spec] = (plan0, stats0, plan1, stats1)
+        rigs[label] = rig
+        runs[label] = (plan0, stats0, plan1, stats1)
     return rigs, runs
 
 
@@ -393,7 +419,7 @@ def assert_executor_matrix_equivalent(
 
 def assert_executors_equivalent(
     dag,
-    executors: Sequence[str] = EXECUTOR_NAMES,
+    executors: Sequence[MatrixColumn] = EXECUTOR_NAMES,
     include_times: bool = True,
     include_storage: bool = True,
     **matrix_kwargs,
@@ -405,7 +431,9 @@ def assert_executors_equivalent(
     dag:
         The workflow DAG to drive through the two-iteration lifecycle.
     executors:
-        Strategy names to compare; defaults to every built-in
+        Matrix columns to compare — strategy names and/or ``(label, spec)``
+        pairs such as ``("distributed-remote",
+        DistributedExecutor(workers=[...]))``; defaults to every built-in
         (:data:`EXECUTOR_NAMES` — inline, thread, process, distributed).
         The first entry is the reference.
     include_times / include_storage:

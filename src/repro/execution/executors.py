@@ -28,10 +28,18 @@ near-duplicate engines:
     dispatched over TCP (length-prefixed frames, see the wire format in
     :mod:`repro.storage.serialization`) to long-lived
     :class:`WorkerServer` processes that register with the coordinator,
-    heartbeat, and ack each task.  Tasks assigned to a worker that dies are
-    requeued to a surviving worker (bounded attempts).  Same process-safety
-    contract as ``"process"``; the transport is host-agnostic even though
-    the built-in launcher spawns workers locally.
+    heartbeat, and ack each task.  Workers are either spawned locally
+    (``max_workers``) or pre-started elsewhere and addressed explicitly
+    (``workers=["host:port", ...]``; see ``python -m
+    repro.execution.worker``).  Each worker connection carries a small
+    pipelined dispatch window (``pipeline_depth``, default 2) so the
+    coordinator overlaps framing/serialization of the next task with the
+    execution of the current one.  Tasks assigned to a worker that dies —
+    acked-but-unfinished and queued-unacked alike — are requeued to a
+    surviving worker (bounded attempts).  Same process-safety contract as
+    ``"process"``; workers without access to the coordinator's filesystem
+    resolve store-resident inputs through the FETCH/ARTIFACT lane
+    (:class:`~repro.storage.serialization.ArtifactRef`).
 
 The engine drives an executor through one run as
 ``start -> submit*/submit_payload* -> next_completion* -> shutdown``; when
@@ -57,14 +65,15 @@ import queue
 import socket
 import threading
 import time
+import warnings
 from abc import ABC, abstractmethod
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import wait as wait_futures
-from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple, Type, Union
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple, Type, Union
 
 from ..exceptions import ExecutionError, OperatorError, ProtocolError
-from ..storage.serialization import deserialize, recv_frame, send_frame, serialize
+from ..storage.serialization import ArtifactRef, deserialize, recv_frame, send_frame, serialize
 
 __all__ = [
     "Executor",
@@ -76,6 +85,7 @@ __all__ = [
     "EXECUTOR_NAMES",
     "LEGACY_ENGINE_ALIASES",
     "resolve_executor_name",
+    "parse_worker_address",
     "create_executor",
     "default_max_workers",
     "default_process_workers",
@@ -121,12 +131,56 @@ def resolve_executor_name(name: str) -> str:
     )
 
 
-def run_serialized_task(payload: bytes) -> bytes:
+def parse_worker_address(spec: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    """Canonicalize a remote worker address: ``"host:port"`` -> ``(host, port)``.
+
+    Accepts an already-split ``(host, port)`` pair too.  The port must be an
+    integer in ``1..65535``; the host part must be non-empty (use
+    ``127.0.0.1`` for loopback workers).
+    """
+    if isinstance(spec, tuple) and len(spec) == 2:
+        host, port = spec
+    else:
+        host, sep, port = str(spec).strip().rpartition(":")
+        if not sep:
+            raise ExecutionError(
+                f"worker address {spec!r} is not of the form host:port"
+            )
+        if host.startswith("[") and host.endswith("]"):
+            host = host[1:-1]  # bracketed IPv6 literal, e.g. "[::1]:7071"
+        elif ":" in host:
+            # A bare IPv6 literal ("::1") would otherwise mis-split into a
+            # bogus host and a colon-count-dependent port.
+            raise ExecutionError(
+                f"worker address {spec!r} is ambiguous; bracket IPv6 hosts "
+                f"as [host]:port"
+            )
+    try:
+        port = int(port)
+    except (TypeError, ValueError):
+        raise ExecutionError(
+            f"worker address {spec!r} has a non-integer port"
+        ) from None
+    if not host or not 0 < port < 65536:
+        raise ExecutionError(
+            f"worker address {spec!r} is not a valid host:port (port 1-65535)"
+        )
+    return str(host), port
+
+
+def run_serialized_task(
+    payload: bytes, resolve: Optional[Callable[[str], Any]] = None
+) -> bytes:
     """Worker-side entry point for out-of-process COMPUTE tasks.
 
     Deserializes ``(node_name, operator, inputs, context)``, runs the
     operator, and returns the serialized ``(value, measured_seconds)`` pair.
-    Failures — including payload deserialization itself, which can fail on
+    Inputs may be :class:`~repro.storage.serialization.ArtifactRef`
+    placeholders for values that live in the coordinator's store; they are
+    resolved through ``resolve(signature)`` *before* the compute timer
+    starts (fetching is I/O, not compute).  A ref without a resolver — or a
+    resolver failure — fails the task with a typed error.  Failures —
+    including payload deserialization itself, which can fail on
     spawn-based platforms when the operator's module is not importable in
     the worker — are wrapped into a picklable :class:`OperatorError`,
     exactly as the in-process compute path does.
@@ -140,6 +194,22 @@ def run_serialized_task(payload: bytes) -> bytes:
             f"platforms operators must be importable from their module "
             f"(not defined in __main__ or a notebook cell)",
         ) from exc
+    if any(isinstance(value, ArtifactRef) for value in inputs):
+        if resolve is None:
+            raise OperatorError(
+                name,
+                "task inputs reference stored artifacts but this worker has "
+                "no fetch lane to the coordinator's store",
+            )
+        try:
+            inputs = [
+                resolve(value.signature) if isinstance(value, ArtifactRef) else value
+                for value in inputs
+            ]
+        except Exception as exc:  # noqa: BLE001 - shipped back typed
+            raise OperatorError(
+                name, f"failed to fetch a stored input: {exc}"
+            ) from exc
     started = time.perf_counter()
     try:
         value = operator.run(inputs, context)
@@ -218,6 +288,22 @@ class Executor(ABC):
         raise ExecutionError(
             f"executor {self.name!r} does not accept serialized payloads"
         )
+
+    def bind_store(self, store: Any) -> None:
+        """Give the executor read access to the engine's materialization store.
+
+        The engine calls this once per ``execute`` before ``start``.  The
+        default is a no-op; executors whose workers cannot share the
+        coordinator's filesystem (the distributed executor's artifact
+        FETCH lane) override it to serve store reads over their transport.
+        """
+
+    #: True when the engine should replace store-resident COMPUTE inputs
+    #: with :class:`~repro.storage.serialization.ArtifactRef` placeholders
+    #: in shipped payloads; the executor's workers resolve them against the
+    #: store bound via :meth:`bind_store`.  Only meaningful together with
+    #: :attr:`out_of_process`.
+    uses_artifact_refs: bool = False
 
     def next_completion(self) -> Completion:
         """Block until one submitted task finishes; return its completion."""
@@ -451,12 +537,43 @@ def _send_message(sock: socket.socket, message: Any, lock: Optional[threading.Lo
             send_frame(sock, frame)
 
 
-def _recv_message(sock: socket.socket) -> Optional[Any]:
-    """Receive one framed message; ``None`` when the peer closed cleanly."""
-    frame = recv_frame(sock)
+def _recv_message(
+    sock: socket.socket, on_progress: Optional[Callable[[], None]] = None
+) -> Optional[Any]:
+    """Receive one framed message; ``None`` when the peer closed cleanly.
+
+    ``on_progress`` fires per received chunk, mid-frame included — see
+    :func:`repro.storage.serialization.recv_frame`.
+    """
+    frame = recv_frame(sock, on_progress=on_progress)
     if frame is None:
         return None
     return deserialize(frame)
+
+
+def _is_registration(message: Any) -> bool:
+    """Whether a first frame is a worker registration tuple.
+
+    Registrations are ``("register", worker_id, pid[, heartbeat_interval])``
+    — the interval field announces the worker's own heartbeat cadence so
+    the coordinator can widen its silence threshold for slow beaters.
+    """
+    return (
+        isinstance(message, tuple)
+        and len(message) in (3, 4)
+        and message[0] == "register"
+    )
+
+
+def _parse_registration(message: Tuple[Any, ...]) -> Tuple[str, int, Optional[float]]:
+    """Split a registration into ``(worker_id, pid, announced_interval)``."""
+    interval = message[3] if len(message) == 4 else None
+    if interval is not None:
+        try:
+            interval = float(interval)
+        except (TypeError, ValueError):
+            interval = None
+    return message[1], message[2], interval
 
 
 def _picklable_error(key: str, error: BaseException) -> BaseException:
@@ -473,46 +590,162 @@ def _picklable_error(key: str, error: BaseException) -> BaseException:
         return OperatorError(key, f"worker failed with unpicklable error: {error!r}")
 
 
+class _FetchSlot:
+    """One outstanding artifact fetch awaiting its ``artifact`` reply."""
+
+    __slots__ = ("event", "blob", "served")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.blob: Optional[bytes] = None
+        self.served = False
+
+
+#: Entries kept in a worker's per-connection fetched-artifact cache.  Small
+#: on purpose — artifacts can be large, and a pipelined window only needs
+#: the handful of inputs shared by consecutive tasks to stay warm.
+_WORKER_FETCH_CACHE_ENTRIES = 8
+
+
 class WorkerServer:
     """Worker-side loop of the distributed executor.
 
-    Connects to a coordinator, registers, then serves ``task`` messages one
-    at a time: each task is acked on receipt, executed via
-    :func:`run_serialized_task`, and answered with a ``result`` (or a
-    picklable ``error``).  A background thread heartbeats every
-    ``heartbeat_interval`` seconds so the coordinator can distinguish a
-    busy worker from a dead one.  The loop exits on a ``shutdown`` message
-    or when the coordinator's connection closes.
+    A worker serves one coordinator connection at a time with three threads:
+    a **reader** receives frames — acking each ``task`` on receipt (even
+    while a previous task is still executing, so the coordinator's pipelined
+    dispatch window gets prompt acks) and routing ``artifact`` replies to
+    pending fetches — an **executor loop** (the calling thread) pops queued
+    tasks and runs them via :func:`run_serialized_task`, answering with a
+    ``result`` or a picklable ``error``, and a **heartbeat** thread beats
+    every ``heartbeat_interval`` seconds so the coordinator can distinguish
+    a busy worker from a dead one.  Task inputs shipped as
+    :class:`~repro.storage.serialization.ArtifactRef` are resolved through
+    the connection's FETCH lane (with a small per-connection value cache).
+    The loop exits on a ``shutdown`` message or when the connection closes.
+
+    Two launch modes share this loop:
+
+    * **dial** (:meth:`serve`) — connect out to a coordinator's listening
+      address; used by the local-spawn launcher.
+    * **listen** (:meth:`listen`) — bind ``host:port`` and accept
+      coordinators one at a time, serving each session until it disconnects;
+      used by pre-started remote workers (``python -m
+      repro.execution.worker``), which the coordinator reaches via
+      ``DistributedExecutor(workers=["host:port", ...])``.
 
     Parameters
     ----------
     host, port:
-        The coordinator's listening address.
+        The coordinator's listening address (dial mode; ``None`` for a
+        worker driven through :meth:`listen`).
     worker_id:
         Identity announced at registration; defaults to ``pid<os.getpid()>``.
     heartbeat_interval:
         Seconds between heartbeats.
+    fetch_timeout:
+        Seconds to wait for the coordinator to answer an artifact fetch
+        before failing the task that needs it.
     """
 
     def __init__(
         self,
-        host: str,
-        port: int,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
         worker_id: Optional[str] = None,
         heartbeat_interval: float = 0.5,
+        fetch_timeout: float = 60.0,
     ) -> None:
+        if heartbeat_interval <= 0:
+            # Mirrors the coordinator-side check: stop.wait(0) would turn
+            # the heartbeat thread into a busy loop flooding the socket.
+            raise ExecutionError("heartbeat_interval must be positive")
+        if fetch_timeout <= 0:
+            raise ExecutionError("fetch_timeout must be positive")
         self.host = host
         self.port = port
         self.worker_id = worker_id if worker_id is not None else f"pid{os.getpid()}"
         self.heartbeat_interval = heartbeat_interval
+        self.fetch_timeout = fetch_timeout
 
     def serve(self) -> None:
-        """Register with the coordinator and serve tasks until told to stop."""
+        """Dial the coordinator, register, and serve tasks until told to stop."""
+        if self.host is None or self.port is None:
+            raise ExecutionError(
+                "WorkerServer.serve needs a coordinator host/port; use "
+                "WorkerServer.listen for an address-configured worker"
+            )
         sock = socket.create_connection((self.host, self.port))
+        self._serve_connection(sock)
+
+    @classmethod
+    def listen(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        worker_id: Optional[str] = None,
+        heartbeat_interval: float = 0.5,
+        fetch_timeout: float = 60.0,
+        max_sessions: Optional[int] = None,
+        on_ready: Optional[Callable[[str, int], None]] = None,
+    ) -> None:
+        """Bind ``host:port`` and serve coordinator sessions, one at a time.
+
+        This is the remote-worker entry point (wrapped by ``python -m
+        repro.execution.worker``): a coordinator configured with
+        ``workers=["host:port", ...]`` connects in, receives the worker's
+        registration as the first frame, and then drives the exact same
+        protocol as a locally-spawned worker.  When a session ends (the
+        coordinator shuts down or disconnects) the worker loops back to
+        ``accept`` and serves the next coordinator, so one long-lived worker
+        process survives many runs.
+
+        ``port=0`` binds an ephemeral port; ``on_ready(host, port)`` is
+        invoked with the bound address before the first ``accept`` (tests
+        and launchers use it to learn the port).  ``max_sessions`` bounds
+        the number of coordinator sessions served (``None`` = forever).
+        """
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(1)
+        bound_host, bound_port = listener.getsockname()[:2]
+        server = cls(
+            worker_id=worker_id,
+            heartbeat_interval=heartbeat_interval,
+            fetch_timeout=fetch_timeout,
+        )
+        if on_ready is not None:
+            on_ready(bound_host, bound_port)
+        served = 0
+        try:
+            while max_sessions is None or served < max_sessions:
+                conn, _ = listener.accept()
+                try:
+                    server._serve_connection(conn)
+                except (OSError, ProtocolError):
+                    pass  # coordinator vanished mid-session; await the next one
+                served += 1
+        finally:
+            listener.close()
+
+    # ------------------------------------------------------------------ session
+    def _serve_connection(self, sock: socket.socket) -> None:
+        """Serve one coordinator connection until shutdown or disconnect."""
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         send_lock = threading.Lock()
         stop = threading.Event()
-        _send_message(sock, ("register", self.worker_id, os.getpid()), send_lock)
+        tasks: "queue.Queue[Optional[Tuple[str, bytes]]]" = queue.Queue()
+        fetch_lock = threading.Lock()
+        fetch_slots: Dict[str, _FetchSlot] = {}
+        # Registration announces the worker's own heartbeat interval so a
+        # coordinator whose heartbeat_timeout was derived from a *different*
+        # interval can widen its silence threshold for this worker instead
+        # of declaring a slow-beating (but healthy) remote worker dead.
+        _send_message(
+            sock,
+            ("register", self.worker_id, os.getpid(), self.heartbeat_interval),
+            send_lock,
+        )
 
         def _heartbeat() -> None:
             while not stop.wait(self.heartbeat_interval):
@@ -521,20 +754,91 @@ class WorkerServer:
                 except OSError:
                     return
 
+        def _reader() -> None:
+            # Runs concurrently with task execution so a pipelined task N+1
+            # is acked the moment its frame arrives, not when task N ends.
+            while True:
+                try:
+                    message = _recv_message(sock)
+                except Exception:  # noqa: BLE001 - transport error = session over
+                    message = None
+                if message is None or message[0] == "shutdown":
+                    break
+                kind = message[0]
+                if kind == "task":
+                    _, key, payload = message
+                    try:
+                        _send_message(sock, ("ack", self.worker_id, key), send_lock)
+                    except OSError:
+                        break
+                    tasks.put((key, payload))
+                elif kind == "artifact":
+                    _, signature, blob = message
+                    with fetch_lock:
+                        slot = fetch_slots.pop(signature, None)
+                    if slot is not None:
+                        slot.blob = blob
+                        slot.served = True
+                        slot.event.set()
+            stop.set()
+            tasks.put(None)  # unblock the executor loop
+            with fetch_lock:
+                orphaned = list(fetch_slots.values())
+                fetch_slots.clear()
+            for slot in orphaned:
+                slot.event.set()  # served stays False -> fetch fails typed
+
         threading.Thread(
             target=_heartbeat, daemon=True, name=f"repro-dist-hb-{self.worker_id}"
         ).start()
+        reader = threading.Thread(
+            target=_reader, daemon=True, name=f"repro-dist-read-{self.worker_id}"
+        )
+        reader.start()
+
+        fetched: "OrderedDict[str, Any]" = OrderedDict()
+
+        def _resolve(signature: str) -> Any:
+            if signature in fetched:
+                fetched.move_to_end(signature)
+                return fetched[signature]
+            slot = _FetchSlot()
+            with fetch_lock:
+                if stop.is_set():
+                    raise ExecutionError(
+                        "connection to the coordinator closed before the fetch"
+                    )
+                fetch_slots[signature] = slot
+            _send_message(sock, ("fetch", self.worker_id, signature), send_lock)
+            if not slot.event.wait(self.fetch_timeout):
+                with fetch_lock:
+                    fetch_slots.pop(signature, None)
+                raise ExecutionError(
+                    f"coordinator did not answer the fetch of artifact "
+                    f"{signature!r} within {self.fetch_timeout:g}s"
+                )
+            if not slot.served:
+                raise ExecutionError(
+                    f"connection closed while fetching artifact {signature!r}"
+                )
+            if slot.blob is None:
+                raise ExecutionError(
+                    f"coordinator has no stored artifact for signature {signature!r}"
+                )
+            value = deserialize(slot.blob)
+            fetched[signature] = value
+            while len(fetched) > _WORKER_FETCH_CACHE_ENTRIES:
+                fetched.popitem(last=False)
+            return value
+
         try:
             while True:
-                message = _recv_message(sock)
-                if message is None or message[0] == "shutdown":
+                item = tasks.get()
+                if item is None:
                     break
-                if message[0] != "task":
-                    continue
-                _, key, payload = message
-                _send_message(sock, ("ack", self.worker_id, key), send_lock)
+                key, payload = item
                 try:
-                    reply = run_serialized_task(payload)
+                    reply = run_serialized_task(payload, resolve=_resolve)
                 except BaseException as exc:  # noqa: BLE001 - shipped back typed
                     _send_message(
                         sock, ("error", key, _picklable_error(key, exc)), send_lock
@@ -556,6 +860,7 @@ class WorkerServer:
         finally:
             stop.set()
             sock.close()
+            reader.join(timeout=2.0)
 
 
 def _distributed_worker_main(
@@ -585,9 +890,12 @@ class _DistributedTask:
 
 
 class _WorkerHandle:
-    """Coordinator-side record of one worker process."""
+    """Coordinator-side record of one worker (locally spawned or remote)."""
 
-    __slots__ = ("worker_id", "process", "pid", "sock", "send_lock", "alive", "last_seen", "inflight")
+    __slots__ = (
+        "worker_id", "process", "pid", "sock", "send_lock", "alive",
+        "last_seen", "inflight", "address", "silence_timeout",
+    )
 
     def __init__(self, worker_id: str):
         self.worker_id = worker_id
@@ -598,48 +906,97 @@ class _WorkerHandle:
         self.alive = True
         self.last_seen = time.monotonic()
         self.inflight: Dict[str, _DistributedTask] = {}
+        #: ``(host, port)`` of an address-configured remote worker;
+        #: ``None`` for locally-spawned workers.
+        self.address: Optional[Tuple[str, int]] = None
+        #: Per-worker silence threshold, widened past the executor's
+        #: ``heartbeat_timeout`` when the worker registered with a slower
+        #: heartbeat interval than the coordinator assumed (``None`` =
+        #: use the executor's timeout).
+        self.silence_timeout: Optional[float] = None
 
 
 class DistributedExecutor(_OutOfProcessExecutor):
-    """COMPUTE tasks run on worker *processes* reached over local TCP sockets.
+    """COMPUTE tasks run on worker *processes* reached over TCP sockets.
 
-    The coordinator (this object) listens on ``127.0.0.1``, spawns
-    ``max_workers`` long-lived :class:`WorkerServer` processes that connect
-    back and register, and dispatches serialized COMPUTE payloads to idle
-    workers as length-prefixed frames (wire format in
-    :mod:`repro.storage.serialization`).  Workers ack each task on receipt
-    (so failure reports can tell a worker that died mid-task from one that
-    died before starting it), heartbeat while idle or busy, and return the
-    serialized ``(value, measured_seconds)`` reply, deserialized here before
-    delivery —
-    exactly the :class:`ProcessExecutor` reply contract, so the engine
+    Two worker-pool modes share one coordinator:
+
+    * **local spawn** (default) — the coordinator listens on ``127.0.0.1``
+      and spawns ``max_workers`` long-lived :class:`WorkerServer` processes
+      that connect back and register.
+    * **remote (address-configured)** — ``workers=["host:port", ...]``
+      names pre-started listening workers (``python -m
+      repro.execution.worker``); the coordinator dials each address and
+      reads its registration.  Remote workers have no local process handle,
+      so heartbeat silence beyond ``heartbeat_timeout`` is authoritative
+      for declaring them dead, and ``shutdown`` only closes their sessions
+      (externally-managed processes are never reaped).
+
+    Serialized COMPUTE payloads are dispatched to workers as
+    length-prefixed frames (wire format in
+    :mod:`repro.storage.serialization`), **pipelined** up to
+    ``pipeline_depth`` tasks per worker connection: while a worker executes
+    task N the coordinator already serializes and frames task N+1 onto the
+    same socket, hiding the framing round trip on short tasks.  Workers ack
+    each task on receipt (a dedicated reader thread acks even while a task
+    is executing), heartbeat while idle or busy, and return the serialized
+    ``(value, measured_seconds)`` reply, deserialized here before delivery
+    — exactly the :class:`ProcessExecutor` reply contract, so the engine
     applies the cost model identically.
+
+    Store access (the FETCH/ARTIFACT lane): when ``fetch_inputs`` is active
+    — the default for address-configured workers, which cannot assume the
+    coordinator's filesystem — the engine ships store-resident COMPUTE
+    inputs as :class:`~repro.storage.serialization.ArtifactRef`
+    placeholders, and workers resolve them with ``fetch`` requests the
+    coordinator answers from the store bound via :meth:`bind_store`
+    (served on the I/O pool, so fetches never stall dispatch).
 
     Failure handling: a worker that dies (socket EOF, dead process, or
     missed heartbeats for ``heartbeat_timeout`` seconds) has its in-flight
-    tasks requeued to surviving workers; a task dispatched
-    ``max_task_attempts`` times without a reply — or orphaned when no worker
-    survives — fails with an :class:`ExecutionError` naming it.  Operators
-    must satisfy the same purity/picklability contract as the process
-    executor (replayed tasks re-run the operator, which is safe only
-    because operators are pure functions of their inputs).
+    tasks — acked-but-unfinished and pipelined-but-unacked alike — requeued
+    to surviving workers exactly once per death (a duplicate reply from a
+    worker wrongly declared dead is dropped; first answer wins); a task
+    dispatched ``max_task_attempts`` times without a reply — or orphaned
+    when no worker survives — fails with an :class:`ExecutionError` naming
+    it.  Operators must satisfy the same purity/picklability contract as
+    the process executor (replayed tasks re-run the operator, which is
+    safe only because operators are pure functions of their inputs).
 
     LOAD tasks and all bookkeeping stay in the coordinating process, on the
     same small I/O thread pool the process executor uses.  ``start`` on a
-    reused instance keeps surviving workers and respawns dead ones, so a
-    lifecycle amortizes worker startup; ``finish_run`` drains without
-    releasing the pool and ``shutdown`` sends every worker a graceful
-    ``shutdown`` frame before reaping it.  Workers are spawned with the
-    platform's default multiprocessing start method — the same deliberate
-    trade-off the process executor documents (fast forks on Linux; the
-    entry point is module-level, so spawn-based platforms work too).
+    reused instance keeps surviving workers and respawns dead ones (local
+    mode) or re-dials disconnected addresses (remote mode, best-effort), so
+    a lifecycle amortizes worker startup; ``finish_run`` drains without
+    releasing the pool and ``shutdown`` sends every spawned worker a
+    graceful ``shutdown`` frame before reaping it.  Workers are spawned
+    with the platform's default multiprocessing start method — the same
+    deliberate trade-off the process executor documents (fast forks on
+    Linux; the entry point is module-level, so spawn-based platforms work
+    too).
 
     Parameters
     ----------
     max_workers:
-        Number of worker processes (default: one per core).
+        Number of locally-spawned worker processes (default: one per
+        core).  Rejected in combination with ``workers`` unless it equals
+        the address count.
+    workers:
+        Remote worker addresses (``"host:port"`` strings or ``(host,
+        port)`` pairs).  When given, no local workers are spawned; the
+        coordinator connects to each address instead (retrying until
+        ``start_timeout`` on the first ``start``).
+    pipeline_depth:
+        Tasks dispatched onto one worker connection at a time (>= 1).  The
+        default of 2 overlaps coordinator-side serialization/framing of the
+        next task with worker-side execution of the current one; 1 restores
+        the strict one-task-per-worker dispatch of protocol version 1.
     heartbeat_interval:
-        Seconds between worker heartbeats.
+        Seconds between worker heartbeats (spawned workers inherit it;
+        remote workers use the interval they were started with, announce it
+        at registration, and get a correspondingly widened per-worker
+        silence threshold when they beat slower than this coordinator
+        assumed).
     heartbeat_timeout:
         Silence (no frame of any kind) after which a worker is declared
         dead.  ``None`` (default) derives ``max(5, 10 * heartbeat_interval)``;
@@ -648,13 +1005,21 @@ class DistributedExecutor(_OutOfProcessExecutor):
         process exit are detected immediately; for locally-spawned workers
         the process handle is authoritative, so silence alone never kills a
         provably-alive worker (a GIL-holding C call can starve the
-        heartbeat thread).  The timeout matters for workers without a local
-        process handle (a future remote launcher).
+        heartbeat thread).  For address-configured remote workers there is
+        no process handle, so the timeout is authoritative.
     max_task_attempts:
         Dispatch attempts per task before it fails.
     start_timeout:
-        Seconds to wait for spawned workers to register before ``start``
-        raises.
+        Seconds to wait for spawned workers to register — or for remote
+        addresses to accept the first connection — before ``start`` raises.
+    fetch_inputs:
+        Whether store-resident COMPUTE inputs ship as artifact refs
+        resolved over the FETCH lane.  ``None`` (default) enables it
+        exactly when ``workers`` addresses are configured; pass ``True`` to
+        exercise the lane with locally-spawned workers too.
+    connect_timeout:
+        Seconds allotted to one remote connection attempt (TCP connect +
+        registration read).
     """
 
     name = "distributed"
@@ -666,13 +1031,37 @@ class DistributedExecutor(_OutOfProcessExecutor):
         heartbeat_timeout: Optional[float] = None,
         max_task_attempts: int = 3,
         start_timeout: float = 30.0,
+        workers: Optional[Sequence[Union[str, Tuple[str, int]]]] = None,
+        pipeline_depth: int = 2,
+        fetch_inputs: Optional[bool] = None,
+        connect_timeout: float = 5.0,
     ) -> None:
         super().__init__()
         if max_workers is not None and max_workers < 1:
             raise ExecutionError("max_workers must be at least 1")
+        self.worker_addresses: Optional[List[Tuple[str, int]]] = None
+        if workers is not None:
+            addresses = [parse_worker_address(spec) for spec in workers]
+            if not addresses:
+                raise ExecutionError(
+                    "workers must name at least one host:port address"
+                )
+            if len(set(addresses)) != len(addresses):
+                raise ExecutionError(
+                    f"workers lists a duplicate address: {sorted(addresses)}"
+                )
+            if max_workers is not None and max_workers != len(addresses):
+                raise ExecutionError(
+                    f"max_workers ({max_workers}) conflicts with the "
+                    f"{len(addresses)} explicit worker address(es); omit it"
+                )
+            self.worker_addresses = addresses
+            max_workers = len(addresses)
         self.max_workers = (
             int(max_workers) if max_workers is not None else default_process_workers()
         )
+        if pipeline_depth < 1:
+            raise ExecutionError("pipeline_depth must be at least 1")
         if max_task_attempts < 1:
             raise ExecutionError("max_task_attempts must be at least 1")
         if heartbeat_interval <= 0:
@@ -689,6 +1078,13 @@ class DistributedExecutor(_OutOfProcessExecutor):
         self.heartbeat_timeout = heartbeat_timeout
         self.max_task_attempts = max_task_attempts
         self.start_timeout = start_timeout
+        self.pipeline_depth = int(pipeline_depth)
+        self.connect_timeout = connect_timeout
+        self.uses_artifact_refs = (
+            bool(fetch_inputs)
+            if fetch_inputs is not None
+            else self.worker_addresses is not None
+        )
 
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -702,41 +1098,66 @@ class DistributedExecutor(_OutOfProcessExecutor):
         self._listener: Optional[socket.socket] = None
         self._port: Optional[int] = None
         self._threads: List[threading.Thread] = []
+        self._running = False
+        self._remote_ready = False
+        #: Per-address earliest next re-dial time: a dead remote host costs
+        #: a full connect_timeout to probe, so non-strict healing skips it
+        #: for a backoff window instead of stalling every start().
+        self._remote_retry_at: Dict[Tuple[str, int], float] = {}
+        self._store: Optional[Any] = None
 
     # ------------------------------------------------------------------ lifecycle
+    def bind_store(self, store: Any) -> None:
+        """Bind the engine's materialization store for the FETCH lane."""
+        self._store = store
+
     def start(self) -> None:
         """Open a run generation; bring the worker pool up to strength.
 
-        First use opens the listener and spawns ``max_workers`` workers; a
-        reused instance keeps surviving workers and only respawns dead ones.
-        Blocks until every worker has registered (``start_timeout``).
+        Local-spawn mode: first use opens the listener and spawns
+        ``max_workers`` workers; a reused instance keeps surviving workers
+        and only respawns dead ones.  Blocks until every worker has
+        registered (``start_timeout``).  Remote mode: dial every
+        still-disconnected address — retrying until ``start_timeout`` on a
+        first start (which fails if any address stays unreachable); on
+        reuse, reconnection is a best-effort single pass that warns about
+        unreachable workers and proceeds as long as one survives.
         """
         super().start()
         self._start_io_pool()
-        if self._listener is None:
-            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-            listener.bind(("127.0.0.1", 0))
-            listener.listen(self.max_workers + 8)
-            # A timeout lets the accept loop poll the stop flag: closing a
-            # socket does not reliably wake a thread blocked in accept().
-            listener.settimeout(0.25)
-            self._listener = listener
-            self._port = listener.getsockname()[1]
+        first = not self._running
+        if first:
             self._stopping = False
             self._stop_event.clear()
+            loops = [("dispatch", self._dispatch_loop), ("monitor", self._monitor_loop)]
+            if self.worker_addresses is None:
+                listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                listener.bind(("127.0.0.1", 0))
+                listener.listen(self.max_workers + 8)
+                # A timeout lets the accept loop poll the stop flag: closing a
+                # socket does not reliably wake a thread blocked in accept().
+                listener.settimeout(0.25)
+                self._listener = listener
+                self._port = listener.getsockname()[1]
+                loops.insert(0, ("accept", self._accept_loop))
             self._threads = [
                 threading.Thread(target=loop, daemon=True, name=f"repro-dist-{label}")
-                for label, loop in (
-                    ("accept", self._accept_loop),
-                    ("dispatch", self._dispatch_loop),
-                    ("monitor", self._monitor_loop),
-                )
+                for label, loop in loops
             ]
             for thread in self._threads:
                 thread.start()
+            self._running = True
         with self._cond:
             for worker_id in [w for w, h in self._workers.items() if not h.alive]:
                 del self._workers[worker_id]
+        if self.worker_addresses is not None:
+            # Strictness is keyed on a *successful* first start, not on the
+            # coordinator threads being up: a failed strict start must stay
+            # strict on retry instead of silently downgrading to best-effort.
+            self._connect_remote_workers(strict=not self._remote_ready)
+            self._remote_ready = True
+            return
+        with self._cond:
             missing = self.max_workers - len(self._workers)
         for _ in range(missing):
             self._spawn_worker()
@@ -746,7 +1167,7 @@ class DistributedExecutor(_OutOfProcessExecutor):
         """Queue one serialized COMPUTE task for dispatch to an idle worker."""
         task = _DistributedTask(key, payload, self._results)
         with self._cond:
-            if self._listener is None:
+            if not self._running:
                 raise ExecutionError("executor used before start()")
             if not any(handle.alive for handle in self._workers.values()):
                 raise ExecutionError(
@@ -783,11 +1204,14 @@ class DistributedExecutor(_OutOfProcessExecutor):
     def shutdown(self, cancel: bool = False) -> None:
         """Drain, then gracefully stop workers and release the transport.
 
-        Every worker gets a ``shutdown`` frame and a grace period before
-        being terminated; the listener and coordinator threads are released.
-        The instance can be ``start``-ed again afterwards.
+        Every locally-spawned worker gets a ``shutdown`` frame and a grace
+        period before being terminated; remote (address-configured) workers
+        only have their session closed — their processes are externally
+        managed and loop back to accept the next coordinator.  The listener
+        and coordinator threads are released.  The instance can be
+        ``start``-ed again afterwards.
         """
-        if self._listener is None and self._io_pool is None:
+        if not self._running and self._io_pool is None:
             return
         self.finish_run(cancel=cancel)
         with self._cond:
@@ -797,7 +1221,7 @@ class DistributedExecutor(_OutOfProcessExecutor):
             self._cond.notify_all()
         self._stop_event.set()
         for handle in handles:
-            if handle.sock is not None:
+            if handle.sock is not None and handle.address is None:
                 try:
                     _send_message(handle.sock, ("shutdown",), handle.send_lock)
                 except OSError:
@@ -823,11 +1247,19 @@ class DistributedExecutor(_OutOfProcessExecutor):
         for thread in self._threads:
             thread.join(timeout=2.0)
         self._threads = []
+        self._running = False
+        self._remote_ready = False
+        self._remote_retry_at.clear()
         self._shutdown_io_pool(cancel)
 
     # ------------------------------------------------------------------ introspection
     def worker_pids(self) -> Dict[str, int]:
-        """PIDs of currently-registered live workers, keyed by worker id."""
+        """PIDs of currently-registered live workers, keyed by worker id.
+
+        Remote workers report the pid they announced at registration —
+        informational only (it belongs to another host's pid namespace) —
+        under a ``host:port`` worker id.
+        """
         with self._lock:
             return {
                 worker_id: handle.pid
@@ -837,7 +1269,11 @@ class DistributedExecutor(_OutOfProcessExecutor):
 
     @property
     def address(self) -> Optional[Tuple[str, int]]:
-        """The coordinator's listening ``(host, port)``, once started."""
+        """The coordinator's listening ``(host, port)``, once started.
+
+        ``None`` in remote (address-configured) mode — the coordinator
+        dials out and has no listener; see :attr:`worker_addresses`.
+        """
         return ("127.0.0.1", self._port) if self._port is not None else None
 
     # ------------------------------------------------------------------ workers
@@ -877,6 +1313,148 @@ class DistributedExecutor(_OutOfProcessExecutor):
                     "distributed executor: every worker died during startup"
                 )
 
+    def _connect_remote_workers(self, strict: bool) -> None:
+        """Dial every address without a live connection.
+
+        ``strict`` (until a start has fully succeeded): keep retrying until
+        ``start_timeout`` and raise if any address stays unreachable — a
+        misconfigured address must fail loudly, and a worker that is still
+        booting gets its grace period.  Non-strict (pool healing on reuse):
+        one attempt per address; unreachable workers produce a warning, and
+        the run proceeds on the survivors (raising only when none is left).
+        """
+        deadline = time.monotonic() + (self.start_timeout if strict else 0.0)
+        backoff = max(5.0, 2.0 * self.connect_timeout)
+        failures: Dict[str, BaseException] = {}
+        attempted = False
+        while True:
+            missing = self._missing_remote_addresses()
+            if not missing:
+                return
+            if not strict:
+                # Healing: skip addresses that failed a dial recently — a
+                # dead host costs a full connect_timeout to probe, and an
+                # auto-pooled lifecycle calls start() every iteration.
+                # With no live worker at all there is nothing to run on,
+                # so the backoff yields and every address is probed.
+                with self._cond:
+                    any_alive = any(h.alive for h in self._workers.values())
+                if any_alive:
+                    now = time.monotonic()
+                    missing = [
+                        a for a in missing
+                        if self._remote_retry_at.get(a, 0.0) <= now
+                    ]
+                    if not missing:
+                        return
+            # The deadline gates every pass — including passes whose dials
+            # all "succeeded" but whose workers died right after registering
+            # (a crash-looping worker must not spin this loop forever).
+            if attempted and time.monotonic() >= deadline:
+                break
+            progress = False
+            for address in missing:
+                label = f"{address[0]}:{address[1]}"
+                try:
+                    self._connect_remote(address)
+                except (OSError, ExecutionError) as exc:
+                    failures[label] = exc
+                    self._remote_retry_at[address] = time.monotonic() + backoff
+                else:
+                    failures.pop(label, None)
+                    self._remote_retry_at.pop(address, None)
+                    progress = True
+            attempted = True
+            if not progress and time.monotonic() < deadline:
+                time.sleep(0.1)
+        missing = self._missing_remote_addresses()
+        if not missing:
+            return  # the final pass connected everything after all
+        unreachable = "; ".join(
+            f"{address[0]}:{address[1]}: "
+            f"{failures.get(f'{address[0]}:{address[1]}', 'worker connected but did not stay registered')}"
+            for address in missing
+        )
+        if strict:
+            raise ExecutionError(
+                f"distributed executor: could not connect to "
+                f"{len(missing)} of {len(self.worker_addresses)} remote "
+                f"worker(s) within {self.start_timeout:.0f}s — {unreachable}"
+            )
+        with self._cond:
+            alive = sum(1 for h in self._workers.values() if h.alive)
+        if alive == 0:
+            raise ExecutionError(
+                f"distributed executor: no remote worker is reachable — {unreachable}"
+            )
+        warnings.warn(
+            f"distributed executor: proceeding with {alive} of "
+            f"{len(self.worker_addresses)} remote workers; unreachable: {unreachable}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _missing_remote_addresses(self) -> List[Tuple[str, int]]:
+        """Configured addresses without a live, registered connection."""
+        with self._cond:
+            connected = {h.address for h in self._workers.values() if h.alive}
+        return [a for a in self.worker_addresses if a not in connected]
+
+    def _silence_timeout_for(self, announced_interval: Optional[float]) -> Optional[float]:
+        """Per-worker silence threshold given its announced heartbeat interval.
+
+        A worker beating slower than this coordinator's own
+        ``heartbeat_interval`` (e.g. a remote worker started with
+        ``--heartbeat-interval 10``) would be declared dead between
+        perfectly healthy beats under the configured ``heartbeat_timeout``,
+        so the threshold widens to the same ``max(5, 10x interval)`` rule
+        the constructor applies to its own interval.  ``None`` keeps the
+        configured timeout (worker announced nothing, or beats at least as
+        fast as assumed).
+        """
+        if announced_interval is None or announced_interval <= self.heartbeat_interval:
+            return None
+        return max(self.heartbeat_timeout, 5.0, 10.0 * announced_interval)
+
+    def _connect_remote(self, address: Tuple[str, int]) -> None:
+        """Dial one listening worker and read its registration frame."""
+        host, port = address
+        sock = socket.create_connection((host, port), timeout=self.connect_timeout)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # Bound the registration read: a peer that accepts but stays
+            # silent (e.g. a worker busy serving another coordinator) must
+            # not wedge start() past its own deadline handling.
+            sock.settimeout(self.connect_timeout)
+            message = _recv_message(sock)
+            sock.settimeout(None)
+        except Exception:
+            sock.close()
+            raise
+        if not _is_registration(message):
+            sock.close()
+            raise ExecutionError(
+                f"worker at {host}:{port} did not announce a registration "
+                f"(is it a repro.execution.worker of the same protocol revision?)"
+            )
+        _announced_id, pid, announced_interval = _parse_registration(message)
+        worker_id = f"{host}:{port}"
+        handle = _WorkerHandle(worker_id)
+        handle.sock = sock
+        handle.pid = pid
+        handle.address = address
+        handle.silence_timeout = self._silence_timeout_for(announced_interval)
+        handle.last_seen = time.monotonic()
+        with self._cond:
+            self._workers[worker_id] = handle
+            self._cond.notify_all()
+        threading.Thread(
+            target=self._receive_loop,
+            args=(handle,),
+            daemon=True,
+            name=f"repro-dist-recv-{worker_id}",
+        ).start()
+
     # ------------------------------------------------------------------ coordinator loops
     def _accept_loop(self) -> None:
         """Accept worker connections and match registrations to handles."""
@@ -905,20 +1483,17 @@ class DistributedExecutor(_OutOfProcessExecutor):
             except Exception:  # noqa: BLE001 - reject peers that talk garbage
                 conn.close()
                 continue
-            if not (
-                isinstance(message, tuple)
-                and len(message) == 3
-                and message[0] == "register"
-            ):
+            if not _is_registration(message):
                 conn.close()
                 continue
-            _, worker_id, pid = message
+            worker_id, pid, announced_interval = _parse_registration(message)
             with self._cond:
                 handle = self._workers.get(worker_id)
                 known = handle is not None and handle.alive and handle.sock is None
                 if known:
                     handle.sock = conn
                     handle.pid = pid
+                    handle.silence_timeout = self._silence_timeout_for(announced_interval)
                     handle.last_seen = time.monotonic()
                     self._cond.notify_all()
             if not known:
@@ -932,13 +1507,19 @@ class DistributedExecutor(_OutOfProcessExecutor):
             ).start()
 
     def _dispatch_loop(self) -> None:
-        """Move queued tasks onto idle workers, one task per worker at a time."""
+        """Move queued tasks onto workers with spare pipeline capacity.
+
+        Each worker connection holds up to ``pipeline_depth`` dispatched
+        tasks: while the worker executes one, the next is already framed
+        onto its socket (and acked by the worker's reader thread), so short
+        tasks do not pay a full coordinator round trip each.
+        """
         while True:
             with self._cond:
                 worker = None
                 while not self._stopping:
                     if self._queue:
-                        worker = self._pick_idle_worker()
+                        worker = self._pick_available_worker()
                         if worker is not None:
                             break
                     self._cond.wait(timeout=0.5)
@@ -970,18 +1551,50 @@ class DistributedExecutor(_OutOfProcessExecutor):
                     ),
                 )
 
-    def _pick_idle_worker(self) -> Optional[_WorkerHandle]:
-        """The first registered live worker with no task in flight (lock held)."""
+    def _pick_available_worker(self) -> Optional[_WorkerHandle]:
+        """The least-loaded live worker with pipeline capacity (lock held).
+
+        Idle workers win over busy ones, so the frontier spreads one task
+        per worker before any connection stacks a second pipelined task.
+        Ties break by registration order, keeping dispatch deterministic.
+        """
+        best: Optional[_WorkerHandle] = None
         for handle in self._workers.values():
-            if handle.alive and handle.sock is not None and not handle.inflight:
+            if not (handle.alive and handle.sock is not None):
+                continue
+            load = len(handle.inflight)
+            if load >= self.pipeline_depth:
+                continue
+            # Best-effort: skip a connection whose send lock is held right
+            # now (e.g. an I/O-pool thread mid-way through a large artifact
+            # reply), since dispatching to it would block the single
+            # dispatch thread behind that transfer and starve the other
+            # workers.  A transfer that *starts* between this probe and the
+            # actual send can still block one dispatch — the probe narrows
+            # that window, it does not close it.
+            if not handle.send_lock.acquire(blocking=False):
+                continue
+            handle.send_lock.release()
+            if load == 0:
                 return handle
-        return None
+            if best is None or load < len(best.inflight):
+                best = handle
+        return best
 
     def _receive_loop(self, worker: _WorkerHandle) -> None:
         """Consume one worker's frames until its connection ends."""
+
+        def _alive() -> None:
+            # Fires per received chunk, mid-frame included: a worker pushing
+            # a large result is provably alive even though its heartbeats
+            # queue behind the transfer on its send lock — without this, a
+            # frame taking longer than heartbeat_timeout would get a healthy
+            # remote worker (no process handle to probe) declared dead.
+            worker.last_seen = time.monotonic()
+
         while True:
             try:
-                message = _recv_message(worker.sock)
+                message = _recv_message(worker.sock, on_progress=_alive)
             except Exception:  # noqa: BLE001 - treat any transport error as death
                 message = None
             if message is None:
@@ -997,8 +1610,55 @@ class DistributedExecutor(_OutOfProcessExecutor):
                 self._task_finished(worker, message[1], reply=message[2])
             elif kind == "error":
                 self._task_finished(worker, message[1], error=message[2])
+            elif kind == "fetch":
+                self._serve_fetch(worker, message[2])
             # heartbeats only refresh last_seen, done above
         self._worker_failed(worker)
+
+    def _serve_fetch(self, worker: _WorkerHandle, signature: str) -> None:
+        """Answer a worker's artifact fetch from the bound store.
+
+        The store read and the reply run on the coordinator's I/O pool so a
+        slow disk read never stalls this worker's receive loop (which must
+        keep consuming results and heartbeats).  A missing artifact — or an
+        unreadable/unframeable one — answers ``None``, which the worker
+        turns into a typed task error; fetch serving never touches run
+        statistics (it is transport, not a planned LOAD).
+        """
+        pool = self._io_pool
+        if pool is None:
+            self._answer_fetch(worker, signature)
+        else:
+            pool.submit(self._answer_fetch, worker, signature)
+
+    def _answer_fetch(self, worker: _WorkerHandle, signature: str) -> None:
+        blob: Optional[bytes] = None
+        store = self._store
+        if store is not None:
+            try:
+                loader = getattr(store, "load_serialized", None)
+                if loader is not None:
+                    # MaterializationStores hold pickled bytes already:
+                    # forward them instead of deserializing + re-serializing
+                    # a potentially large value per fetch.
+                    blob = loader(signature)
+                else:
+                    # Duck-typed store without the raw-bytes API: a missing
+                    # signature raises here and answers None, matching
+                    # load_serialized's contract.
+                    value, _seconds = store.load(signature)
+                    blob = serialize(value)
+            except Exception:  # noqa: BLE001 - report as missing, task errors typed
+                blob = None
+        try:
+            _send_message(worker.sock, ("artifact", signature, blob), worker.send_lock)
+        except OSError:
+            pass  # worker death is handled by its receive loop / monitor
+        except Exception:  # noqa: BLE001 - e.g. artifact above the frame limit
+            try:
+                _send_message(worker.sock, ("artifact", signature, None), worker.send_lock)
+            except OSError:
+                pass
 
     def _monitor_loop(self) -> None:
         """Declare workers dead on process exit or prolonged heartbeat silence."""
@@ -1012,9 +1672,14 @@ class DistributedExecutor(_OutOfProcessExecutor):
                 if not handle.alive:
                     continue
                 process_dead = handle.process is not None and not handle.process.is_alive()
+                threshold = (
+                    handle.silence_timeout
+                    if handle.silence_timeout is not None
+                    else self.heartbeat_timeout
+                )
                 silent = (
                     handle.sock is not None
-                    and now - handle.last_seen > self.heartbeat_timeout
+                    and now - handle.last_seen > threshold
                 )
                 # Silence alone is authoritative only when liveness cannot be
                 # probed (no local process handle): a provably-alive worker
@@ -1059,8 +1724,18 @@ class DistributedExecutor(_OutOfProcessExecutor):
         task.results.put((task.key, outcome, error))
 
     def _worker_failed(self, worker: _WorkerHandle) -> None:
-        """Retire a dead worker; requeue or fail its in-flight tasks."""
+        """Retire a dead worker; requeue or fail its in-flight tasks.
+
+        With pipelining a death can orphan several tasks at once — the one
+        the worker was executing (acked) plus the ones queued on its
+        connection (acked or not yet).  Each orphan is requeued exactly
+        once, at the front of the queue in its original dispatch order; the
+        ``task.done`` guard and the ``inflight.pop`` in ``_task_finished``
+        ensure a straggler reply from a worker wrongly declared dead can
+        never retire a task a second time.
+        """
         failures: List[_DistributedTask] = []
+        requeue: List[_DistributedTask] = []
         with self._cond:
             if not worker.alive:
                 return
@@ -1079,7 +1754,8 @@ class DistributedExecutor(_OutOfProcessExecutor):
                 elif task.attempts >= self.max_task_attempts or not survivors:
                     failures.append(task)
                 else:
-                    self._queue.appendleft(task)
+                    requeue.append(task)
+            self._queue.extendleft(reversed(requeue))
             if not survivors:
                 # No worker left to drain the queue: fail queued tasks too,
                 # or the engine would wait forever on completions.
@@ -1091,10 +1767,11 @@ class DistributedExecutor(_OutOfProcessExecutor):
         if worker.process is not None and not worker.process.is_alive():
             worker.process.join(timeout=0.1)
         for task in failures:
-            # The per-task ack tells apart a worker that died *running* the
-            # task (acked — the operator itself is suspect) from one that
-            # died before ever starting it (collateral damage).
-            phase = "while running it" if task.acked else "before starting it"
+            # The per-task ack records *delivery*: the worker's reader acks a
+            # pipelined task on receipt, possibly before execution starts, so
+            # an acked task was at least handed over (and may have been
+            # running) while an unacked one provably never reached the worker.
+            phase = "after receiving it" if task.acked else "before receiving it"
             self._complete(
                 task,
                 None,
@@ -1119,13 +1796,18 @@ ExecutorSpec = Union[str, Type[Executor], Executor]
 
 
 def create_executor(
-    executor: ExecutorSpec = "inline", max_workers: Optional[int] = None
+    executor: ExecutorSpec = "inline",
+    max_workers: Optional[int] = None,
+    workers: Optional[Sequence[Union[str, Tuple[str, int]]]] = None,
 ) -> Executor:
     """Build an executor from a name, class or ready instance.
 
     A ready instance already carries its own worker count, so combining one
     with ``max_workers`` is rejected rather than silently ignoring the count
-    (a user asking for ``max_workers=1`` must not get a default-sized pool).
+    (a user asking for ``max_workers=1`` must not get a default-sized pool);
+    the same goes for ``workers`` addresses.  ``workers=["host:port", ...]``
+    selects the distributed executor's remote (address-configured) mode and
+    is rejected for every other strategy.
     """
     if isinstance(executor, Executor):
         if max_workers is not None:
@@ -1133,7 +1815,21 @@ def create_executor(
                 "max_workers cannot be combined with an executor instance; "
                 "configure the instance's own max_workers instead"
             )
+        if workers is not None:
+            raise ExecutionError(
+                "workers cannot be combined with an executor instance; "
+                "configure the instance's own workers instead"
+            )
         return executor
     if isinstance(executor, type) and issubclass(executor, Executor):
-        return executor(max_workers=max_workers)
-    return _EXECUTORS[resolve_executor_name(executor)](max_workers=max_workers)
+        cls = executor
+    else:
+        cls = _EXECUTORS[resolve_executor_name(executor)]
+    if workers is not None:
+        if not issubclass(cls, DistributedExecutor):
+            raise ExecutionError(
+                f"workers=[\"host:port\", ...] is only valid for the "
+                f"distributed executor, not {cls.name!r}"
+            )
+        return cls(max_workers=max_workers, workers=workers)
+    return cls(max_workers=max_workers)

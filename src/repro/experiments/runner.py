@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..exceptions import ExecutionError
 from ..execution.tracker import RunStats
 from ..systems.base import System
 from ..workloads.base import Workload, get_workload
@@ -93,6 +94,7 @@ def run_lifecycle(
     executor: Optional[str] = None,
     engine: Optional[str] = None,
     max_workers: Optional[int] = None,
+    workers: Optional[Sequence[str]] = None,
 ) -> LifecycleResult:
     """Run ``system`` through a full iterative lifecycle of ``workload``.
 
@@ -122,6 +124,12 @@ def run_lifecycle(
     max_workers:
         Worker count for pool-backed executors (only used with
         ``executor``/``engine``).
+    workers:
+        Remote worker addresses (``"host:port"``) for the distributed
+        executor's address-configured mode — pre-started ``python -m
+        repro.execution.worker`` processes the coordinator connects to
+        instead of spawning local workers.  Only valid with
+        ``executor="distributed"``.
 
     Returns
     -------
@@ -131,7 +139,8 @@ def run_lifecycle(
     Raises
     ------
     ExecutionError
-        On an unknown executor name or invalid worker count.
+        On an unknown executor name, invalid worker count or worker
+        address, or ``workers`` combined with a non-distributed executor.
     """
     if isinstance(workload, str):
         workload = get_workload(workload)
@@ -143,8 +152,15 @@ def run_lifecycle(
             stacklevel=2,
         )
         executor = engine
+    if workers is not None and executor is None:
+        # Without this the addresses would be silently dropped and the
+        # lifecycle would run on the system's existing configuration.
+        raise ExecutionError(
+            'workers=["host:port", ...] requires executor="distributed" '
+            "in the same call"
+        )
     if executor is not None:
-        system.configure_executor(executor, max_workers)
+        system.configure_executor(executor, max_workers, workers=workers)
     if reset:
         system.reset()
     resolved_plan = list(plan) if plan is not None else build_iteration_plan(
@@ -174,12 +190,17 @@ def run_comparison(
     executor: Optional[str] = None,
     engine: Optional[str] = None,
     max_workers: Optional[int] = None,
+    workers: Optional[Sequence[str]] = None,
 ) -> Dict[str, LifecycleResult]:
     """Run several systems over the identical lifecycle and return results by name.
 
-    ``executor``/``max_workers`` reconfigure every system's executor strategy
-    for the comparison (``engine`` is the deprecated name-alias form);
-    ``None`` keeps each system's own configuration.
+    ``executor``/``max_workers``/``workers`` reconfigure every system's
+    executor strategy for the comparison (``engine`` is the deprecated
+    name-alias form); ``None`` keeps each system's own configuration.
+    Address-configured remote workers (``workers``) serve one coordinator
+    session at a time, so when addresses are given each system's owned
+    coordinator session is closed as soon as its lifecycle ends — the next
+    system can then connect to the same workers.
 
     Pool ownership: an auto-pooled executor name (``"process"``,
     ``"distributed"``) gives **each** system an owned worker pool that stays
@@ -197,15 +218,24 @@ def run_comparison(
     for system in systems:
         if skip_unsupported and not system.supports(workload.name):
             continue
-        results[system.name] = run_lifecycle(
-            system,
-            workload,
-            n_iterations=n_iterations,
-            seed=seed,
-            scale=scale,
-            plan=plan,
-            executor=executor,
-            engine=engine,
-            max_workers=max_workers,
-        )
+        try:
+            results[system.name] = run_lifecycle(
+                system,
+                workload,
+                n_iterations=n_iterations,
+                seed=seed,
+                scale=scale,
+                plan=plan,
+                executor=executor,
+                engine=engine,
+                max_workers=max_workers,
+                workers=workers,
+            )
+        finally:
+            if workers is not None:
+                # A listening remote worker serves one coordinator at a
+                # time: release this system's session — even when the
+                # lifecycle failed — so the next system (or a retry) can
+                # connect to the same addresses.
+                system.close_executor()
     return results

@@ -24,6 +24,17 @@ and worker built from different protocol revisions fail fast with a
 misinterpreting each other's pickles.  :func:`recv_frame` distinguishes a
 clean end-of-stream at a frame boundary (returns ``None`` — the peer closed)
 from a connection lost mid-frame (raises :class:`ProtocolError`).
+
+Protocol version history
+------------------------
+* **1** — registration/heartbeat/task/ack/result/error/shutdown message
+  tuples (the PR 4 local-TCP transport).
+* **2** — adds the artifact lane for workers without access to the
+  coordinator's store: a COMPUTE payload may carry :class:`ArtifactRef`
+  placeholders instead of inline input values, and workers resolve them with
+  ``("fetch", worker_id, signature)`` requests answered by
+  ``("artifact", signature, payload_bytes | None)`` frames served from the
+  coordinator's materialization store.
 """
 
 from __future__ import annotations
@@ -32,7 +43,7 @@ import io
 import pickle
 import socket
 import struct
-from typing import Any, Optional, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 import numpy as np
 
@@ -43,6 +54,7 @@ __all__ = [
     "deserialize",
     "serialized_size",
     "estimate_size_bytes",
+    "ArtifactRef",
     "FRAME_MAGIC",
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
@@ -59,7 +71,9 @@ FRAME_MAGIC = b"HX"
 
 #: Version of the coordinator/worker wire protocol.  Bump on any change to
 #: the frame layout *or* to the message tuples exchanged inside frames.
-PROTOCOL_VERSION = 1
+#: (2 = the FETCH/ARTIFACT lane + :class:`ArtifactRef` payload inputs; see
+#: the version history in the module docstring.)
+PROTOCOL_VERSION = 2
 
 #: Upper bound on a single frame's payload (1 GiB).  A length above this is
 #: treated as a corrupt header rather than an allocation request.
@@ -110,6 +124,40 @@ def estimate_size_bytes(value: Any) -> int:
         return serialized_size(value)
     except Exception:  # pragma: no cover - unpicklable exotic values
         return 256
+
+
+class ArtifactRef:
+    """Placeholder for a task input that lives in the coordinator's store.
+
+    When a COMPUTE payload is shipped to a worker that cannot share the
+    coordinator's filesystem, inputs whose value is already materialized are
+    replaced by an ``ArtifactRef`` carrying only the artifact's signature.
+    The worker resolves the reference over its coordinator connection with a
+    ``("fetch", worker_id, signature)`` message, answered by an
+    ``("artifact", signature, bytes)`` frame — the LOAD lane of protocol
+    version 2.  Refs are picklable and compare by signature, so payloads
+    containing them round-trip like any other serialized task.
+    """
+
+    __slots__ = ("signature",)
+
+    def __init__(self, signature: str):
+        self.signature = signature
+
+    def __repr__(self) -> str:
+        return f"ArtifactRef({self.signature!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, ArtifactRef) and other.signature == self.signature
+
+    def __hash__(self) -> int:
+        return hash((ArtifactRef, self.signature))
+
+    def __getstate__(self) -> str:
+        return self.signature
+
+    def __setstate__(self, state: str) -> None:
+        self.signature = state
 
 
 # ---------------------------------------------------------------------------
@@ -166,8 +214,22 @@ def send_frame(
     sock.sendall(encode_frame(payload, version=version))
 
 
-def recv_frame(sock: socket.socket) -> Optional[bytes]:
+def recv_frame(
+    sock: socket.socket, on_progress: Optional[Callable[[], None]] = None
+) -> Optional[bytes]:
     """Receive one complete frame from a connected socket.
+
+    Parameters
+    ----------
+    sock:
+        The connected socket to read from.
+    on_progress:
+        Invoked after every chunk of bytes received, including chunks in
+        the *middle* of a large frame.  The distributed coordinator uses it
+        to refresh a worker's liveness while a multi-second result transfer
+        is still in flight (the worker's heartbeats queue behind the
+        transfer on its send lock, so frame progress is the liveness
+        signal).
 
     Returns
     -------
@@ -180,13 +242,13 @@ def recv_frame(sock: socket.socket) -> Optional[bytes]:
         On a bad magic prefix, a protocol-version mismatch, a corrupt
         length, or a connection lost in the middle of a frame.
     """
-    header = _recv_exact(sock, _FRAME_HEADER.size, eof_ok=True)
+    header = _recv_exact(sock, _FRAME_HEADER.size, eof_ok=True, on_progress=on_progress)
     if header is None:
         return None
     length = _check_header(header)
     if length == 0:
         return b""
-    return _recv_exact(sock, length, eof_ok=False)
+    return _recv_exact(sock, length, eof_ok=False, on_progress=on_progress)
 
 
 def _check_header(header: bytes) -> int:
@@ -211,7 +273,12 @@ def _check_header(header: bytes) -> int:
     return length
 
 
-def _recv_exact(sock: socket.socket, n: int, eof_ok: bool) -> Optional[bytes]:
+def _recv_exact(
+    sock: socket.socket,
+    n: int,
+    eof_ok: bool,
+    on_progress: Optional[Callable[[], None]] = None,
+) -> Optional[bytes]:
     """Read exactly ``n`` bytes; ``None`` on immediate EOF when ``eof_ok``."""
     chunks = []
     remaining = n
@@ -228,4 +295,6 @@ def _recv_exact(sock: socket.socket, n: int, eof_ok: bool) -> Optional[bytes]:
             )
         chunks.append(chunk)
         remaining -= len(chunk)
+        if on_progress is not None:
+            on_progress()
     return b"".join(chunks)

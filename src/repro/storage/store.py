@@ -117,6 +117,30 @@ class MaterializationStore(ABC):
             raise ArtifactNotFoundError(f"no artifact for signature {signature[:12]}...")
         return self._read(record)
 
+    def load_serialized(self, signature: str) -> Optional[bytes]:
+        """Serialized bytes of a materialized artifact; ``None`` when absent.
+
+        Serves the distributed executor's artifact FETCH lane: both
+        built-in stores already hold pickled bytes, so their overrides of
+        :meth:`_read_serialized` forward them without a deserialize +
+        re-serialize round trip.  Backends without raw-bytes access fall
+        back to ``serialize(load(...))``.
+        """
+        with self._store_lock:
+            record = self.catalog.get(signature)
+        if record is None:
+            return None
+        payload = self._read_serialized(record)
+        if payload is not None:
+            return payload
+        value, _seconds = self._read(record)
+        return serialize(value)
+
+    def _read_serialized(self, record: ArtifactRecord) -> Optional[bytes]:
+        """Raw stored bytes when the backend keeps them (``None`` = use ``_read``)."""
+        del record
+        return None
+
     def delete(self, signature: str) -> None:
         with self._store_lock:
             record = self.catalog.remove(signature)
@@ -181,6 +205,10 @@ class DiskStore(MaterializationStore):
         if path.exists():
             path.unlink()
 
+    def _read_serialized(self, record: ArtifactRecord) -> Optional[bytes]:
+        path = Path(record.location) if record.location else self._path_for(record.signature)
+        return path.read_bytes() if path.exists() else None
+
 
 class InMemoryStore(MaterializationStore):
     """Byte-buffer store with modelled I/O times (deterministic, for tests/simulation)."""
@@ -210,3 +238,6 @@ class InMemoryStore(MaterializationStore):
 
     def _delete(self, record: ArtifactRecord) -> None:
         self._blobs.pop(record.signature, None)
+
+    def _read_serialized(self, record: ArtifactRecord) -> Optional[bytes]:
+        return self._blobs.get(record.signature)

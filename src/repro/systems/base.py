@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import warnings
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..core.workflow import Workflow
 from ..exceptions import ExecutionError
@@ -89,6 +89,10 @@ class System(ABC):
     #: Worker count for pool-backed executors (None = library default).
     max_workers: Optional[int] = None
 
+    #: Remote worker addresses ("host:port") for the distributed executor's
+    #: address-configured mode (None = spawn workers locally).
+    workers: Optional[Sequence[str]] = None
+
     #: System-owned executor instance backing a name-configured auto-pooled
     #: strategy (see :data:`AUTO_POOLED_EXECUTORS`); built lazily on first
     #: engine construction and closed by :meth:`close_executor`.
@@ -107,7 +111,10 @@ class System(ABC):
 
     # ------------------------------------------------------------------ executor selection
     def configure_executor(
-        self, executor: str | Executor = "inline", max_workers: Optional[int] = None
+        self,
+        executor: str | Executor = "inline",
+        max_workers: Optional[int] = None,
+        workers: Optional[Sequence[str]] = None,
     ) -> "System":
         """Select the executor strategy used by :meth:`run_iteration`.
 
@@ -122,6 +129,12 @@ class System(ABC):
             Worker count for pool-backed strategies; ``None`` uses the
             library default.  Rejected when ``executor`` is an instance
             (the instance already carries its own worker count).
+        workers:
+            Remote worker addresses (``"host:port"``) for the distributed
+            executor's address-configured mode (pre-started ``python -m
+            repro.execution.worker`` processes).  Only valid with
+            ``executor="distributed"``; rejected for other names and for
+            instances.
 
         Returns
         -------
@@ -130,8 +143,10 @@ class System(ABC):
         Raises
         ------
         ExecutionError
-            On an unknown executor name, or when ``max_workers`` is combined
-            with an executor instance.
+            On an unknown executor name or worker address, when
+            ``max_workers``/``workers`` is combined with an executor
+            instance, or when ``workers`` is combined with a
+            non-distributed name.
 
         Pool ownership: the auto-pooled names (:data:`AUTO_POOLED_EXECUTORS`)
         give this system an owned instance that is reused across lifecycle
@@ -147,16 +162,36 @@ class System(ABC):
                     "max_workers cannot be combined with an executor instance; "
                     "configure the instance's own max_workers instead"
                 )
+            if workers is not None:
+                raise ExecutionError(
+                    "workers cannot be combined with an executor instance; "
+                    "configure the instance's own workers instead"
+                )
             self.close_executor()
             self.executor_name = executor
         else:
             name = resolve_executor_name(executor)
-            if name == self.executor_name and max_workers == self.max_workers:
+            if workers is not None and name != "distributed":
+                raise ExecutionError(
+                    f'workers=["host:port", ...] is only valid with '
+                    f'executor="distributed", not {name!r}'
+                )
+            if (
+                name == self.executor_name
+                and max_workers == self.max_workers
+                and self._same_workers(workers)
+            ):
                 return self  # no-op: keep an owned pool warm across calls
             self.close_executor()
             self.executor_name = name
         self.max_workers = max_workers
+        self.workers = list(workers) if workers is not None else None
         return self
+
+    def _same_workers(self, workers: Optional[Sequence[str]]) -> bool:
+        left = list(self.workers) if self.workers is not None else None
+        right = list(workers) if workers is not None else None
+        return left == right
 
     def configure_engine(
         self, engine: str = "serial", max_workers: Optional[int] = None
@@ -191,6 +226,7 @@ class System(ABC):
         name = resolve_executor_name(value)
         self.close_executor()
         self.executor_name = name
+        self.workers = None  # legacy engine names never address remote workers
 
     @property
     def owned_executor(self) -> Optional[Executor]:
@@ -236,10 +272,12 @@ class System(ABC):
         if isinstance(spec, str) and spec in AUTO_POOLED_EXECUTORS:
             if self._owned_executor is None:
                 self._owned_executor = create_executor(
-                    spec, max_workers=self.max_workers
+                    spec, max_workers=self.max_workers, workers=self.workers
                 )
             return create_engine(self._owned_executor, **kwargs)
-        return create_engine(spec, max_workers=self.max_workers, **kwargs)
+        return create_engine(
+            spec, max_workers=self.max_workers, workers=self.workers, **kwargs
+        )
 
     @abstractmethod
     def run_iteration(

@@ -22,7 +22,7 @@ The three paper variants are exposed through :meth:`HelixSystem.opt`,
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from ..core.operators import RunContext
 from ..core.signatures import ChangeTracker, compute_node_signatures, diff_signatures
@@ -71,6 +71,10 @@ class HelixSystem(System):
         (``"serial"`` -> ``"inline"``, ``"parallel"`` -> ``"thread"``).
     max_workers:
         Worker count for pool-backed executors (None = library default).
+    workers:
+        Remote worker addresses (``"host:port"``) for the distributed
+        executor's address-configured mode (requires
+        ``executor="distributed"``).
     """
 
     def __init__(
@@ -84,6 +88,7 @@ class HelixSystem(System):
         executor: Optional[str] = None,
         engine: Optional[str] = None,
         max_workers: Optional[int] = None,
+        workers: Optional[Sequence[str]] = None,
     ):
         self.policy = policy if policy is not None else StreamingMaterializationPolicy()
         self.store = store if store is not None else InMemoryStore(budget_bytes=storage_budget)
@@ -93,7 +98,9 @@ class HelixSystem(System):
         self.tracker = ChangeTracker()
         self.estimator = CostEstimator(self.stats)
         self.name = name or f"helix-{self.policy.name}"
-        self.configure_executor(_resolve_executor_arg(executor, engine), max_workers)
+        self.configure_executor(
+            _resolve_executor_arg(executor, engine), max_workers, workers=workers
+        )
 
     # ------------------------------------------------------------------ variants
     @classmethod

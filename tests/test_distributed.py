@@ -1,8 +1,8 @@
 """Distributed executor: wire format, worker lifecycle, failure handling.
 
 The distributed executor dispatches serialized COMPUTE payloads to
-long-lived worker processes over local TCP sockets.  This suite pins down
-the pieces the other executors do not have:
+long-lived worker processes over TCP sockets.  This suite pins down the
+pieces the other executors do not have:
 
 * **Wire format** — length-prefixed frames with a magic + protocol-version
   header round-trip over real sockets; a version mismatch, bad magic,
@@ -13,6 +13,19 @@ the pieces the other executors do not have:
   identical to the inline reference on the synthetic matrix and on a real
   (census) lifecycle, including while a worker is killed mid-run and its
   tasks are requeued to a survivor.
+* **Remote workers** — address-configured pools (``workers=["host:port"]``
+  dialing pre-started listening ``WorkerServer``s, incl. the ``python -m
+  repro.execution.worker`` entrypoint) pass the same equivalence matrix as
+  a fifth column, survive a worker kill mid-run, and fail fast on an
+  unreachable address.
+* **Pipelined dispatch** — each worker connection holds up to
+  ``pipeline_depth`` tasks; killing a worker with one in-flight and one
+  queued pipelined task requeues both exactly once (no duplicate
+  completions) and still matches the inline reference.
+* **Artifact FETCH lane** — store-resident inputs ship as
+  :class:`ArtifactRef` placeholders that workers resolve from the
+  coordinator's bound store; a missing artifact fails the task with a
+  typed error instead of killing the worker.
 * **Failure handling** — a task whose worker keeps dying fails after
   bounded dispatch attempts with an :class:`ExecutionError` naming it; a
   worker crash mid-operator does not lose the task.
@@ -45,15 +58,22 @@ from repro.execution.equivalence import (
     assert_equivalent_runs,
     assert_executors_equivalent,
 )
-from repro.execution.executors import DistributedExecutor
+from repro.execution.executors import (
+    DistributedExecutor,
+    WorkerServer,
+    parse_worker_address,
+    run_serialized_task,
+)
 from repro.experiments.runner import run_lifecycle
 from repro.optimizer.metrics import StatsStore
 from repro.optimizer.oep import solve_oep
 from repro.optimizer.omp import StreamingMaterializationPolicy
 from repro.storage.serialization import (
+    ArtifactRef,
     FRAME_MAGIC,
     PROTOCOL_VERSION,
     decode_frame,
+    deserialize,
     encode_frame,
     recv_frame,
     send_frame,
@@ -96,6 +116,35 @@ def _engine_for(executor, **kwargs):
         executor=executor,
         **kwargs,
     )
+
+
+def _listen_worker_main(port_queue, worker_id=None, heartbeat_interval=0.5):
+    """Entry point of a pre-started listening worker (module-level: spawn-safe)."""
+    WorkerServer.listen(
+        "127.0.0.1", 0, worker_id=worker_id,
+        heartbeat_interval=heartbeat_interval,
+        on_ready=lambda _host, port: port_queue.put(port),
+    )
+
+
+def _start_listening_workers(count):
+    """Start ``count`` listening worker processes; return (processes, addresses)."""
+    ctx = multiprocessing.get_context()
+    port_queue = ctx.Queue()
+    processes = []
+    for _ in range(count):
+        process = ctx.Process(target=_listen_worker_main, args=(port_queue,), daemon=True)
+        process.start()
+        processes.append(process)
+    addresses = [f"127.0.0.1:{port_queue.get(timeout=10)}" for _ in processes]
+    return processes, addresses
+
+
+def _reap(processes):
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=2.0)
 
 
 # ---------------------------------------------------------------------------
@@ -473,3 +522,442 @@ class TestAutoPooling:
             assert executor.address is not None
         finally:
             executor.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Remote (address-configured) workers
+# ---------------------------------------------------------------------------
+class TestRemoteWorkers:
+    def test_parse_worker_address(self):
+        assert parse_worker_address("127.0.0.1:7071") == ("127.0.0.1", 7071)
+        assert parse_worker_address(("host", 9)) == ("host", 9)
+        assert parse_worker_address("[::1]:7071") == ("::1", 7071)
+        for bad in (
+            "no-port", "host:", ":7071", "host:notaport", "host:0",
+            "host:70000", "::1", "[]:7071", "2001:db8::1:7071",
+        ):
+            with pytest.raises(ExecutionError):
+                parse_worker_address(bad)
+
+    def test_workers_spec_validation(self):
+        with pytest.raises(ExecutionError, match="at least one"):
+            DistributedExecutor(workers=[])
+        with pytest.raises(ExecutionError, match="duplicate"):
+            DistributedExecutor(workers=["h:1", "h:1"])
+        with pytest.raises(ExecutionError, match="conflicts"):
+            DistributedExecutor(workers=["h:1"], max_workers=3)
+        # matching max_workers is accepted, and the address count wins anyway
+        executor = DistributedExecutor(workers=["h:1", "h:2"], max_workers=2)
+        assert executor.max_workers == 2
+        assert executor.uses_artifact_refs  # remote workers default to the fetch lane
+        from repro.execution.executors import create_executor
+
+        with pytest.raises(ExecutionError, match="only valid"):
+            create_executor("thread", workers=["h:1"])
+        with pytest.raises(ExecutionError, match="instance"):
+            create_executor(executor, workers=["h:1"])
+
+    def test_configure_executor_rejects_workers_for_other_names(self):
+        system = HelixSystem.opt(cost_model=SimulatedCostModel(), seed=0)
+        with pytest.raises(ExecutionError, match="only valid"):
+            system.configure_executor("thread", workers=["h:1"])
+
+    def test_unreachable_address_fails_fast(self):
+        # nothing listens on the reserved discard port on loopback
+        executor = DistributedExecutor(
+            workers=["127.0.0.1:9"], start_timeout=0.6, connect_timeout=0.3
+        )
+        with pytest.raises(ExecutionError, match="could not connect"):
+            executor.start()
+        executor.shutdown()
+
+    def test_remote_matrix_equivalence_column(self):
+        """The equivalence matrix passes with an address-configured column.
+
+        The remote executor defaults to the artifact FETCH lane, so
+        iteration 1 of the rig (COMPUTE nodes whose parents are store
+        resident) also exercises ArtifactRef shipping end to end.
+        """
+        processes, addresses = _start_listening_workers(2)
+        executor = DistributedExecutor(workers=addresses)
+        try:
+            dag = make_random_dag(11, max_width=4, max_depth=4)
+            rigs, _ = assert_executors_equivalent(
+                dag, executors=("inline", ("distributed-remote", executor))
+            )
+            assert set(rigs) == {"inline", "distributed-remote"}
+            assert executor.uses_artifact_refs
+        finally:
+            executor.shutdown()
+            _reap(processes)
+
+    def test_kill_remote_worker_mid_run_requeues_and_matches_inline(self):
+        dag = make_wide_dag(branches=6, depth=2, node_seconds=0.05)
+        signatures = compute_node_signatures(dag)
+        plan = _all_compute_plan(dag)
+        reference = _engine_for("inline").execute(dag, plan, signatures)
+
+        processes, addresses = _start_listening_workers(2)
+        executor = DistributedExecutor(workers=addresses)
+        engine = _engine_for(executor)
+        executor.start()  # pre-start so a victim exists before execute
+        try:
+            victim = processes[0]
+            killer = threading.Timer(0.15, victim.kill)
+            killer.start()
+            stats = engine.execute(dag, plan, signatures)
+            killer.join()
+            assert len(executor.worker_pids()) == 1
+            assert_equivalent_runs(reference, stats, include_times=False)
+        finally:
+            executor.shutdown()
+            _reap(processes)
+
+    def test_worker_entrypoint_serves_coordinator(self):
+        """`python -m repro.execution.worker` announces its port and serves
+        one coordinator session, then exits (--max-sessions 1)."""
+        import re
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH")) if p
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.execution.worker",
+             "--port", "0", "--worker-id", "ci-smoke", "--max-sessions", "1"],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = process.stdout.readline()
+            match = re.match(r"worker ci-smoke listening on ([\d.]+):(\d+)", line)
+            assert match, f"unexpected readiness line: {line!r}"
+            address = f"{match.group(1)}:{match.group(2)}"
+            executor = DistributedExecutor(workers=[address])
+            executor.start()
+            from repro.core.operators import RunContext
+            from repro.workloads.synthetic import LatencyOperator
+
+            executor.submit_payload(
+                "n0", serialize(("n0", LatencyOperator(offset=3.0), [], RunContext()))
+            )
+            key, outcome, error = executor.next_completion()
+            assert (key, error) == ("n0", None)
+            assert outcome[0] == pytest.approx(3.0)
+            executor.finish_run()
+            executor.shutdown()
+            assert process.wait(timeout=10) == 0  # one session served, clean exit
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=5)
+
+
+# ---------------------------------------------------------------------------
+# Pipelined dispatch
+# ---------------------------------------------------------------------------
+class TestPipelinedDispatch:
+    def test_pipeline_depth_validated(self):
+        with pytest.raises(ExecutionError, match="pipeline_depth"):
+            DistributedExecutor(max_workers=1, pipeline_depth=0)
+        assert DistributedExecutor(max_workers=1, pipeline_depth=1).pipeline_depth == 1
+
+    def test_tasks_stack_up_to_depth_on_one_worker(self):
+        """With one worker and depth 2, a second task is dispatched (and
+        acked by the worker's reader thread) while the first executes."""
+        from repro.core.operators import RunContext
+        from repro.workloads.synthetic import LatencyOperator
+
+        executor = DistributedExecutor(max_workers=1, pipeline_depth=2)
+        try:
+            executor.start()
+            operator = LatencyOperator(offset=1.0, sleep_seconds=0.3)
+            for index in range(3):
+                executor.submit_payload(
+                    f"n{index}", serialize((f"n{index}", operator, [], RunContext()))
+                )
+            deadline = time.monotonic() + 5
+            peak = 0
+            while time.monotonic() < deadline:
+                with executor._lock:
+                    loads = [len(h.inflight) for h in executor._workers.values()]
+                peak = max(peak, max(loads, default=0))
+                if peak >= 2:
+                    break
+                time.sleep(0.01)
+            assert peak == 2  # never above depth, and the window does fill
+            keys = sorted(executor.next_completion()[0] for _ in range(3))
+            assert keys == ["n0", "n1", "n2"]
+            executor.finish_run()
+        finally:
+            executor.shutdown()
+
+    def test_kill_worker_with_pipelined_tasks_requeues_each_exactly_once(self):
+        """A dead worker orphans its executing task *and* its queued
+        pipelined task; both must complete exactly once on the survivor."""
+        from repro.core.operators import RunContext
+        from repro.workloads.synthetic import LatencyOperator
+
+        executor = DistributedExecutor(max_workers=2, pipeline_depth=2)
+        try:
+            executor.start()
+            for index in range(4):
+                operator = LatencyOperator(offset=float(index), sleep_seconds=0.4)
+                executor.submit_payload(
+                    f"n{index}", serialize((f"n{index}", operator, [], RunContext()))
+                )
+            # wait until some worker holds a full pipeline window (one task
+            # executing + one queued on its connection), then kill it
+            deadline = time.monotonic() + 5
+            victim_pid = None
+            while time.monotonic() < deadline:
+                with executor._lock:
+                    for handle in executor._workers.values():
+                        if handle.alive and len(handle.inflight) == 2:
+                            victim_pid = handle.pid
+                            break
+                if victim_pid is not None:
+                    break
+                time.sleep(0.01)
+            assert victim_pid is not None, "pipeline window never filled"
+            os.kill(victim_pid, signal.SIGKILL)
+
+            completions = [executor.next_completion() for _ in range(4)]
+            executor.finish_run()
+            assert executor._results.empty()  # no duplicate retirement
+            by_key = {}
+            for key, outcome, error in completions:
+                assert error is None, f"task {key} failed: {error}"
+                assert key not in by_key, f"task {key} completed twice"
+                by_key[key] = outcome[0]
+            # every task ran to its correct value despite the requeue
+            assert by_key == {f"n{i}": pytest.approx(float(i)) for i in range(4)}
+            assert len(executor.worker_pids()) == 1
+        finally:
+            executor.shutdown()
+
+    def test_engine_equivalence_with_pipelined_worker_death(self):
+        """Engine-level: a mid-run worker kill under pipelined dispatch
+        still produces statistics identical to the inline reference."""
+        dag = make_wide_dag(branches=8, depth=2, node_seconds=0.04)
+        signatures = compute_node_signatures(dag)
+        plan = _all_compute_plan(dag)
+        reference = _engine_for("inline").execute(dag, plan, signatures)
+
+        executor = DistributedExecutor(max_workers=2, pipeline_depth=2)
+        engine = _engine_for(executor)
+        executor.start()
+        try:
+            victim = next(iter(executor.worker_pids().values()))
+            killer = threading.Timer(0.1, lambda: os.kill(victim, signal.SIGKILL))
+            killer.start()
+            stats = engine.execute(dag, plan, signatures)
+            killer.join()
+            assert_equivalent_runs(reference, stats, include_times=False)
+        finally:
+            executor.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Artifact FETCH lane (store access for workers without the coordinator's fs)
+# ---------------------------------------------------------------------------
+class TestArtifactFetchLane:
+    def test_artifact_ref_round_trips(self):
+        ref = ArtifactRef("sig-1")
+        assert deserialize(serialize(ref)) == ref
+        assert ref != ArtifactRef("sig-2")
+        assert repr(ref) == "ArtifactRef('sig-1')"
+
+    def test_ref_without_resolver_fails_typed(self):
+        from repro.core.operators import RunContext
+        from repro.exceptions import OperatorError
+        from repro.workloads.synthetic import LatencyOperator
+
+        payload = serialize(
+            ("n0", LatencyOperator(offset=1.0), [ArtifactRef("sig")], RunContext())
+        )
+        with pytest.raises(OperatorError, match="no fetch lane"):
+            run_serialized_task(payload)
+
+    def test_fetched_input_feeds_the_operator(self):
+        """A store-resident input shipped as a ref is fetched, deserialized
+        and fed to the operator exactly like an inline value."""
+        from repro.core.operators import RunContext
+        from repro.workloads.synthetic import LatencyOperator
+
+        store = InMemoryStore()
+        store.put("parent", "sig-parent", 21.0)
+        executor = DistributedExecutor(max_workers=1, fetch_inputs=True)
+        assert executor.uses_artifact_refs
+        executor.bind_store(store)
+        try:
+            executor.start()
+            executor.submit_payload(
+                "child",
+                serialize(
+                    ("child", LatencyOperator(offset=1.0), [ArtifactRef("sig-parent")], RunContext())
+                ),
+            )
+            key, outcome, error = executor.next_completion()
+            assert (key, error) == ("child", None)
+            assert outcome[0] == pytest.approx(22.0)  # offset + fetched 21.0
+            executor.finish_run()
+        finally:
+            executor.shutdown()
+
+    def test_missing_artifact_fails_task_not_worker(self):
+        from repro.core.operators import RunContext
+        from repro.exceptions import OperatorError
+        from repro.workloads.synthetic import LatencyOperator
+
+        executor = DistributedExecutor(max_workers=1, fetch_inputs=True)
+        executor.bind_store(InMemoryStore())
+        try:
+            executor.start()
+            executor.submit_payload(
+                "bad",
+                serialize(
+                    ("bad", LatencyOperator(offset=1.0), [ArtifactRef("nope")], RunContext())
+                ),
+            )
+            key, _, error = executor.next_completion()
+            assert key == "bad"
+            assert isinstance(error, OperatorError)
+            assert "no stored artifact" in str(error)
+            # the worker survived the failed fetch and still serves tasks
+            executor.submit_payload(
+                "good", serialize(("good", LatencyOperator(offset=2.0), [], RunContext()))
+            )
+            key, outcome, error = executor.next_completion()
+            assert (key, error) == ("good", None)
+            assert outcome[0] == pytest.approx(2.0)
+            executor.finish_run()
+        finally:
+            executor.shutdown()
+
+    def test_engine_equivalence_with_fetch_lane_local_workers(self):
+        """The full engine lifecycle (iteration 1 computes over
+        store-resident parents, which ship as refs) matches inline."""
+        executor = DistributedExecutor(max_workers=2, fetch_inputs=True)
+        try:
+            dag = make_random_dag(10, max_width=4, max_depth=4)
+            rigs, _ = assert_executors_equivalent(
+                dag, executors=("inline", ("distributed-fetch", executor))
+            )
+            assert set(rigs) == {"inline", "distributed-fetch"}
+        finally:
+            executor.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Review-fix regressions
+# ---------------------------------------------------------------------------
+class TestReviewRegressions:
+    def test_recv_frame_reports_mid_frame_progress(self):
+        """Chunked arrival of one frame fires on_progress per chunk, so the
+        coordinator can count an in-flight large transfer as liveness."""
+        left, right = socket.socketpair()
+        frame = encode_frame(b"x" * 100)
+        ticks = []
+        try:
+            received = {}
+
+            def _recv():
+                received["payload"] = recv_frame(right, on_progress=lambda: ticks.append(1))
+
+            reader = threading.Thread(target=_recv)
+            reader.start()
+            left.sendall(frame[:20])
+            time.sleep(0.05)
+            left.sendall(frame[20:])
+            reader.join(timeout=5)
+            assert received["payload"] == b"x" * 100
+            assert len(ticks) >= 2  # header chunk + at least one payload chunk
+        finally:
+            left.close()
+            right.close()
+
+    def test_run_lifecycle_rejects_workers_without_executor(self):
+        system = HelixSystem.opt(cost_model=SimulatedCostModel(), seed=0)
+        with pytest.raises(ExecutionError, match="requires executor"):
+            run_lifecycle(system, "census", n_iterations=1, workers=["127.0.0.1:7071"])
+
+    def test_load_serialized_forwards_stored_bytes(self, tmp_path):
+        from pathlib import Path
+
+        from repro.storage.store import DiskStore
+
+        value = {"weights": list(range(32))}
+        memory = InMemoryStore()
+        memory.put("node", "sig", value)
+        blob = memory.load_serialized("sig")
+        assert blob is memory._blobs["sig"]  # no re-serialization pass
+        assert deserialize(blob) == value
+        assert memory.load_serialized("unknown") is None
+
+        disk = DiskStore(Path(tmp_path))
+        disk.put("node", "sig", value)
+        assert deserialize(disk.load_serialized("sig")) == value
+        assert disk.load_serialized("unknown") is None
+
+    def test_system_annotations_resolve_at_runtime(self):
+        """`from __future__ import annotations` hides a missing typing
+        import until get_type_hints runs (Sphinx/pydantic/dataclasses)."""
+        import typing
+
+        from repro.systems.base import System
+
+        hints = typing.get_type_hints(System.configure_executor)
+        assert "workers" in hints
+
+    def test_failed_strict_start_stays_strict_on_retry(self):
+        """A first start that failed must not downgrade a retry to the
+        best-effort (warn-and-proceed) healing semantics."""
+        executor = DistributedExecutor(
+            workers=["127.0.0.1:9"], start_timeout=0.4, connect_timeout=0.2
+        )
+        with pytest.raises(ExecutionError, match="could not connect"):
+            executor.start()
+        with pytest.raises(ExecutionError, match="could not connect"):
+            executor.start()  # still strict: raises, does not warn
+        executor.shutdown()
+
+    def test_worker_death_phase_reports_delivery_not_execution(self):
+        """Pipelined tasks are acked on *receipt*, so failure messages talk
+        about delivery ('receiving'), never claim the operator was running."""
+        dag = WorkflowDAG([Node.create("boom", WorkerSuicideOperator(), is_output=True)])
+        executor = DistributedExecutor(max_workers=1, max_task_attempts=1)
+        engine = _engine_for(executor)
+        try:
+            with pytest.raises(ExecutionError, match="receiving it"):
+                engine.execute(dag, _all_compute_plan(dag), compute_node_signatures(dag))
+        finally:
+            executor.shutdown()
+
+    def test_slow_beating_remote_worker_widens_silence_threshold(self):
+        """A worker announcing a slower heartbeat interval than the
+        coordinator assumed must not be declared dead between healthy
+        beats: its handle gets a widened per-worker silence threshold."""
+        ctx = multiprocessing.get_context()
+        port_queue = ctx.Queue()
+        process = ctx.Process(
+            target=_listen_worker_main, args=(port_queue, None, 3.0), daemon=True
+        )
+        process.start()
+        address = f"127.0.0.1:{port_queue.get(timeout=10)}"
+        executor = DistributedExecutor(workers=[address])  # assumes 0.5s beats
+        try:
+            executor.start()
+            with executor._lock:
+                handle = next(iter(executor._workers.values()))
+                assert handle.silence_timeout == pytest.approx(30.0)  # 10 * 3.0
+        finally:
+            executor.shutdown()
+            _reap([process])
