@@ -24,6 +24,9 @@ Public API overview
   comparators.
 * :mod:`repro.experiments` — the experiment harness reproducing every table
   and figure in the paper's evaluation.
+* :mod:`repro.service` — Helix-as-a-service: the ``repro serve`` daemon
+  sharing one worker fleet across concurrent workflow runs, and the
+  ``repro submit`` client API.
 
 Quickstart
 ----------
@@ -36,7 +39,17 @@ Quickstart
 3
 """
 
-from . import core, execution, experiments, ml, optimizer, storage, systems, workloads
+from . import (
+    core,
+    execution,
+    experiments,
+    ml,
+    optimizer,
+    service,
+    storage,
+    systems,
+    workloads,
+)
 from .core import Workflow
 from .exceptions import HelixError
 from .experiments import run_comparison, run_lifecycle
@@ -51,6 +64,7 @@ __all__ = [
     "experiments",
     "ml",
     "optimizer",
+    "service",
     "storage",
     "systems",
     "workloads",

@@ -1,0 +1,12 @@
+"""``python -m repro``: the Helix reproduction command line.
+
+Dispatches to the service entry points (``serve`` / ``submit``); see
+:mod:`repro.service.cli`.
+"""
+
+from .service.cli import main
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -63,6 +63,7 @@ from .tracker import RunStats
 
 __all__ = [
     "canonical_run",
+    "canonical_lifecycle",
     "run_signature",
     "compare_runs",
     "assert_equivalent_runs",
@@ -236,6 +237,27 @@ def assert_equivalent_runs(
         raise AssertionError(
             "engine runs are not equivalent:\n  " + "\n  ".join(mismatches)
         )
+
+
+def canonical_lifecycle(
+    iterations: Sequence[RunStats],
+    include_times: bool = False,
+    include_storage: bool = False,
+) -> List[Dict[str, Any]]:
+    """Canonical views of a whole lifecycle's per-iteration statistics.
+
+    One :func:`canonical_run` dict per iteration, in order.  This is the
+    payload the ``repro serve`` daemon returns for a submitted run and what
+    its inline-verification compares against: with the defaults (times and
+    storage excluded) two lifecycles are equal exactly when they executed
+    the same nodes into the same states with identical outputs and
+    materialization decisions — "identical modulo timing/memory".  The
+    output is JSON-serializable (operator outputs are content digests).
+    """
+    return [
+        canonical_run(stats, include_times=include_times, include_storage=include_storage)
+        for stats in iterations
+    ]
 
 
 def _compact(value: Any, limit: int = 300) -> str:

@@ -41,6 +41,16 @@ near-duplicate engines:
     resolve store-resident inputs through the FETCH/ARTIFACT lane
     (:class:`~repro.storage.serialization.ArtifactRef`).
 
+One distributed fleet can serve **several runs at once**: every
+task/result/error/fetch frame is tagged with a *session id* (protocol
+version 3), and :meth:`DistributedExecutor.session` opens a
+:class:`DistributedSession` — a full :class:`Executor` with its own
+completion queue and bound store, multiplexed onto the shared worker pool.
+Sessions dispatch round-robin (per-session FIFO order, fair interleaving
+across sessions) and workers keep per-session fetch lanes and value
+caches, which is what the ``repro serve`` daemon
+(:mod:`repro.service`) builds its concurrent-run scheduler on.
+
 The engine drives an executor through one run as
 ``start -> submit*/submit_payload* -> next_completion* -> shutdown``; when
 configured by name it builds a fresh instance per ``execute`` call
@@ -81,6 +91,7 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "DistributedExecutor",
+    "DistributedSession",
     "WorkerServer",
     "EXECUTOR_NAMES",
     "LEGACY_ENGINE_ALIASES",
@@ -601,10 +612,68 @@ class _FetchSlot:
         self.served = False
 
 
-#: Entries kept in a worker's per-connection fetched-artifact cache.  Small
-#: on purpose — artifacts can be large, and a pipelined window only needs
-#: the handful of inputs shared by consecutive tasks to stay warm.
+#: Entry cap on a worker's per-session fetched-artifact cache.  Small on
+#: purpose — a pipelined window only needs the handful of inputs shared by
+#: consecutive tasks to stay warm.
 _WORKER_FETCH_CACHE_ENTRIES = 8
+
+#: Byte budget for the same cache, measured in *approximate serialized
+#: bytes* (the length of each fetched artifact's blob).  The entry cap
+#: alone is the wrong bound for large values — eight multi-GB artifacts
+#: would hold the worker's whole address space hostage — so eviction
+#: triggers on whichever bound is exceeded first.
+_WORKER_FETCH_CACHE_BYTES = 256 * 1024 * 1024
+
+
+class _FetchCache:
+    """LRU over fetched artifact values, bounded by bytes *and* entries.
+
+    Small artifacts keep :data:`_WORKER_FETCH_CACHE_ENTRIES` as their
+    bound; large artifacts are evicted as soon as the cached blobs'
+    combined serialized size exceeds the byte budget.  The most recently
+    inserted entry is never evicted, so an artifact above the whole budget
+    still serves the task that fetched it (and is dropped on the next
+    insert).
+    """
+
+    __slots__ = ("max_entries", "max_bytes", "_entries", "_bytes")
+
+    def __init__(
+        self,
+        max_entries: int = _WORKER_FETCH_CACHE_ENTRIES,
+        max_bytes: int = _WORKER_FETCH_CACHE_BYTES,
+    ) -> None:
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
+        self._bytes = 0
+
+    def get(self, signature: str) -> Tuple[bool, Any]:
+        """``(hit, value)``; a hit refreshes the entry's recency."""
+        entry = self._entries.get(signature)
+        if entry is None:
+            return False, None
+        self._entries.move_to_end(signature)
+        return True, entry[0]
+
+    def put(self, signature: str, value: Any, size_bytes: int) -> None:
+        old = self._entries.pop(signature, None)
+        if old is not None:
+            self._bytes -= old[1]
+        self._entries[signature] = (value, int(size_bytes))
+        self._bytes += int(size_bytes)
+        while len(self._entries) > 1 and (
+            self._bytes > self.max_bytes or len(self._entries) > self.max_entries
+        ):
+            _, (_, dropped) = self._entries.popitem(last=False)
+            self._bytes -= dropped
+
+    @property
+    def total_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class WorkerServer:
@@ -618,10 +687,14 @@ class WorkerServer:
     tasks and runs them via :func:`run_serialized_task`, answering with a
     ``result`` or a picklable ``error``, and a **heartbeat** thread beats
     every ``heartbeat_interval`` seconds so the coordinator can distinguish
-    a busy worker from a dead one.  Task inputs shipped as
-    :class:`~repro.storage.serialization.ArtifactRef` are resolved through
-    the connection's FETCH lane (with a small per-connection value cache).
-    The loop exits on a ``shutdown`` message or when the connection closes.
+    a busy worker from a dead one.  One connection can carry several
+    multiplexed run *sessions* (protocol version 3 tags every task-related
+    frame with a session id): tasks queue in per-session lanes drained
+    round-robin, so no session's backlog starves another's, and task inputs
+    shipped as :class:`~repro.storage.serialization.ArtifactRef` are
+    resolved through the connection's FETCH lane with a per-session,
+    byte-bounded value cache.  The loop exits on a ``shutdown`` message or
+    when the connection closes.
 
     Two launch modes share this loop:
 
@@ -730,13 +803,24 @@ class WorkerServer:
 
     # ------------------------------------------------------------------ session
     def _serve_connection(self, sock: socket.socket) -> None:
-        """Serve one coordinator connection until shutdown or disconnect."""
+        """Serve one coordinator connection until shutdown or disconnect.
+
+        Bookkeeping is kept per run session: each session gets its own task
+        lane (drained round-robin across sessions), its own pending fetch
+        slots, and its own byte-bounded fetched-value cache.  Registration
+        and heartbeats stay per-connection — liveness is a property of the
+        transport, not of any one session.
+        """
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         send_lock = threading.Lock()
         stop = threading.Event()
-        tasks: "queue.Queue[Optional[Tuple[str, bytes]]]" = queue.Queue()
+        wake = threading.Condition()
+        # Per-session FIFO task lanes in round-robin order: the session just
+        # served rotates to the back, so with several sessions queued each
+        # gets one task per round instead of the first backlog winning.
+        lanes: "OrderedDict[Any, Deque[Tuple[str, bytes]]]" = OrderedDict()
         fetch_lock = threading.Lock()
-        fetch_slots: Dict[str, _FetchSlot] = {}
+        fetch_slots: Dict[Tuple[Any, str], _FetchSlot] = {}
         # Registration announces the worker's own heartbeat interval so a
         # coordinator whose heartbeat_timeout was derived from a *different*
         # interval can widen its silence threshold for this worker instead
@@ -760,28 +844,33 @@ class WorkerServer:
             while True:
                 try:
                     message = _recv_message(sock)
-                except Exception:  # noqa: BLE001 - transport error = session over
+                except Exception:  # noqa: BLE001 - transport error = connection over
                     message = None
                 if message is None or message[0] == "shutdown":
                     break
                 kind = message[0]
                 if kind == "task":
-                    _, key, payload = message
+                    _, session, key, payload = message
                     try:
-                        _send_message(sock, ("ack", self.worker_id, key), send_lock)
+                        _send_message(
+                            sock, ("ack", self.worker_id, session, key), send_lock
+                        )
                     except OSError:
                         break
-                    tasks.put((key, payload))
+                    with wake:
+                        lanes.setdefault(session, deque()).append((key, payload))
+                        wake.notify_all()
                 elif kind == "artifact":
-                    _, signature, blob = message
+                    _, session, signature, blob = message
                     with fetch_lock:
-                        slot = fetch_slots.pop(signature, None)
+                        slot = fetch_slots.pop((session, signature), None)
                     if slot is not None:
                         slot.blob = blob
                         slot.served = True
                         slot.event.set()
             stop.set()
-            tasks.put(None)  # unblock the executor loop
+            with wake:
+                wake.notify_all()  # unblock the executor loop
             with fetch_lock:
                 orphaned = list(fetch_slots.values())
                 fetch_slots.clear()
@@ -796,56 +885,89 @@ class WorkerServer:
         )
         reader.start()
 
-        fetched: "OrderedDict[str, Any]" = OrderedDict()
+        caches: Dict[Any, _FetchCache] = {}
 
-        def _resolve(signature: str) -> Any:
-            if signature in fetched:
-                fetched.move_to_end(signature)
-                return fetched[signature]
-            slot = _FetchSlot()
-            with fetch_lock:
-                if stop.is_set():
-                    raise ExecutionError(
-                        "connection to the coordinator closed before the fetch"
-                    )
-                fetch_slots[signature] = slot
-            _send_message(sock, ("fetch", self.worker_id, signature), send_lock)
-            if not slot.event.wait(self.fetch_timeout):
+        def _next_task() -> Optional[Tuple[Any, str, bytes]]:
+            """Pop the next task, rotating fairly across session lanes."""
+            with wake:
+                while True:
+                    for session in list(lanes):
+                        lane = lanes[session]
+                        if lane:
+                            key, payload = lane.popleft()
+                            lanes.move_to_end(session)
+                            return session, key, payload
+                    if stop.is_set():
+                        return None
+                    wake.wait(timeout=0.5)
+
+        def _resolver_for(session: Any) -> Callable[[str], Any]:
+            cache = caches.setdefault(session, _FetchCache())
+
+            def _resolve(signature: str) -> Any:
+                hit, value = cache.get(signature)
+                if hit:
+                    return value
+                slot = _FetchSlot()
                 with fetch_lock:
-                    fetch_slots.pop(signature, None)
-                raise ExecutionError(
-                    f"coordinator did not answer the fetch of artifact "
-                    f"{signature!r} within {self.fetch_timeout:g}s"
+                    if stop.is_set():
+                        raise ExecutionError(
+                            "connection to the coordinator closed before the fetch"
+                        )
+                    fetch_slots[(session, signature)] = slot
+                _send_message(
+                    sock, ("fetch", self.worker_id, session, signature), send_lock
                 )
-            if not slot.served:
-                raise ExecutionError(
-                    f"connection closed while fetching artifact {signature!r}"
-                )
-            if slot.blob is None:
-                raise ExecutionError(
-                    f"coordinator has no stored artifact for signature {signature!r}"
-                )
-            value = deserialize(slot.blob)
-            fetched[signature] = value
-            while len(fetched) > _WORKER_FETCH_CACHE_ENTRIES:
-                fetched.popitem(last=False)
-            return value
+                if not slot.event.wait(self.fetch_timeout):
+                    with fetch_lock:
+                        fetch_slots.pop((session, signature), None)
+                    raise ExecutionError(
+                        f"coordinator did not answer the fetch of artifact "
+                        f"{signature!r} within {self.fetch_timeout:g}s"
+                    )
+                if not slot.served:
+                    raise ExecutionError(
+                        f"connection closed while fetching artifact {signature!r}"
+                    )
+                if slot.blob is None:
+                    raise ExecutionError(
+                        f"coordinator has no stored artifact for signature {signature!r}"
+                    )
+                value = deserialize(slot.blob)
+                cache.put(signature, value, len(slot.blob))
+                return value
+
+            return _resolve
 
         try:
             while True:
-                item = tasks.get()
+                item = _next_task()
                 if item is None:
                     break
-                key, payload = item
+                session, key, payload = item
                 try:
-                    reply = run_serialized_task(payload, resolve=_resolve)
+                    reply = run_serialized_task(payload, resolve=_resolver_for(session))
                 except BaseException as exc:  # noqa: BLE001 - shipped back typed
-                    _send_message(
-                        sock, ("error", key, _picklable_error(key, exc)), send_lock
-                    )
+                    # Interrupt/exit must still take the worker down: report
+                    # the failure best-effort, then re-raise instead of
+                    # looping — a Ctrl-C (or SystemExit) during task
+                    # execution would otherwise be pickled into a mere task
+                    # error, leaving behind a worker that refuses to die.
+                    fatal = isinstance(exc, (KeyboardInterrupt, SystemExit))
+                    try:
+                        _send_message(
+                            sock,
+                            ("error", session, key, _picklable_error(key, exc)),
+                            send_lock,
+                        )
+                    except OSError:
+                        if not fatal:
+                            raise  # coordinator gone; nobody to report to
+                    if fatal:
+                        raise
                     continue
                 try:
-                    _send_message(sock, ("result", key, reply), send_lock)
+                    _send_message(sock, ("result", session, key, reply), send_lock)
                 except OSError:
                     raise  # coordinator gone; nobody to report to
                 except Exception as exc:  # noqa: BLE001 - e.g. reply over frame limit
@@ -854,30 +976,78 @@ class WorkerServer:
                     # the run through pointless worker-death retries.
                     _send_message(
                         sock,
-                        ("error", key, OperatorError(key, f"result reply could not be framed: {exc}")),
+                        ("error", session, key, OperatorError(key, f"result reply could not be framed: {exc}")),
                         send_lock,
                     )
         finally:
             stop.set()
+            try:
+                # close() alone does not wake a reader blocked in recv() (the
+                # in-flight syscall keeps the connection alive), so the peer
+                # would not see EOF until process exit; shutdown() unblocks
+                # the reader and sends FIN immediately.
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             sock.close()
             reader.join(timeout=2.0)
 
 
 def _distributed_worker_main(
-    host: str, port: int, worker_id: str, heartbeat_interval: float
+    host: str,
+    port: int,
+    worker_id: str,
+    heartbeat_interval: float,
+    fetch_timeout: float = 60.0,
 ) -> None:
     """Entry point of a spawned worker process (module-level: spawn-safe)."""
     WorkerServer(
-        host, port, worker_id=worker_id, heartbeat_interval=heartbeat_interval
+        host,
+        port,
+        worker_id=worker_id,
+        heartbeat_interval=heartbeat_interval,
+        fetch_timeout=fetch_timeout,
     ).serve()
+
+
+class _SessionState:
+    """Coordinator-side bookkeeping of one multiplexed run session.
+
+    The fleet (:class:`DistributedExecutor`) dispatches from these
+    per-session FIFO lanes round-robin, so concurrent runs interleave
+    fairly instead of queuing behind each other, and answers workers'
+    artifact fetches from the session's own bound store.  The executor's
+    classic single-run API runs on one implicit default session; sessions
+    only become visible when :meth:`DistributedExecutor.session` opens
+    more.
+    """
+
+    __slots__ = ("session_id", "queue", "outstanding", "cancelling", "store", "open")
+
+    def __init__(self, session_id: str):
+        self.session_id = session_id
+        self.queue: Deque["_DistributedTask"] = deque()
+        self.outstanding = 0
+        self.cancelling = False
+        self.store: Optional[Any] = None
+        self.open = True
 
 
 class _DistributedTask:
     """One COMPUTE payload travelling through the coordinator."""
 
-    __slots__ = ("key", "payload", "results", "attempts", "acked", "done")
+    __slots__ = ("session", "key", "payload", "results", "attempts", "acked", "done")
 
-    def __init__(self, key: str, payload: bytes, results: "queue.Queue[Completion]"):
+    def __init__(
+        self,
+        session: _SessionState,
+        key: str,
+        payload: bytes,
+        results: "queue.Queue[Completion]",
+    ):
+        #: The run session this task belongs to — its FIFO lane,
+        #: outstanding count, cancel flag and bound store live there.
+        self.session = session
         self.key = key
         self.payload = payload
         #: The completion queue of the run that submitted this task.  Binding
@@ -905,7 +1075,10 @@ class _WorkerHandle:
         self.send_lock = threading.Lock()
         self.alive = True
         self.last_seen = time.monotonic()
-        self.inflight: Dict[str, _DistributedTask] = {}
+        #: Dispatched-but-unfinished tasks keyed by ``(session_id, key)`` —
+        #: node names are only unique within a run, and concurrent sessions
+        #: routinely run the same workflow.
+        self.inflight: Dict[Tuple[str, str], _DistributedTask] = {}
         #: ``(host, port)`` of an address-configured remote worker;
         #: ``None`` for locally-spawned workers.
         self.address: Optional[Tuple[str, int]] = None
@@ -1020,6 +1193,25 @@ class DistributedExecutor(_OutOfProcessExecutor):
     connect_timeout:
         Seconds allotted to one remote connection attempt (TCP connect +
         registration read).
+    redial_backoff:
+        Base of the exponential re-dial backoff applied to a remote
+        address whose dial failed: the n-th consecutive failure hides the
+        address from non-strict pool healing for ``redial_backoff *
+        2**(n-1)`` seconds, capped at ``max(5, 2 * connect_timeout)``.
+        The counter resets on a successful dial, so a worker that merely
+        restarted is re-adopted on the next healing pass instead of
+        staying invisible for the full cap.
+    fetch_timeout:
+        Seconds a locally-spawned worker waits for this coordinator to
+        answer an artifact fetch before failing the task that needs it
+        (remote workers use the ``--fetch-timeout`` they were started
+        with).
+
+    Several engines can share one executor's worker pool concurrently:
+    :meth:`session` opens a :class:`DistributedSession` with its own
+    completion queue, outstanding-task bookkeeping and bound store,
+    dispatched fairly (round-robin across sessions, FIFO within each)
+    and tagged with a session id on the wire.
     """
 
     name = "distributed"
@@ -1035,6 +1227,8 @@ class DistributedExecutor(_OutOfProcessExecutor):
         pipeline_depth: int = 2,
         fetch_inputs: Optional[bool] = None,
         connect_timeout: float = 5.0,
+        redial_backoff: float = 0.25,
+        fetch_timeout: float = 60.0,
     ) -> None:
         super().__init__()
         if max_workers is not None and max_workers < 1:
@@ -1074,12 +1268,18 @@ class DistributedExecutor(_OutOfProcessExecutor):
                 f"heartbeat_interval ({heartbeat_interval:g}s), or every "
                 f"healthy worker would be declared dead between beats"
             )
+        if redial_backoff <= 0:
+            raise ExecutionError("redial_backoff must be positive")
+        if fetch_timeout <= 0:
+            raise ExecutionError("fetch_timeout must be positive")
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.max_task_attempts = max_task_attempts
         self.start_timeout = start_timeout
         self.pipeline_depth = int(pipeline_depth)
         self.connect_timeout = connect_timeout
+        self.redial_backoff = redial_backoff
+        self.fetch_timeout = fetch_timeout
         self.uses_artifact_refs = (
             bool(fetch_inputs)
             if fetch_inputs is not None
@@ -1088,22 +1288,31 @@ class DistributedExecutor(_OutOfProcessExecutor):
 
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
-        self._queue: Deque[_DistributedTask] = deque()
         self._workers: Dict[str, _WorkerHandle] = {}
-        self._outstanding = 0
-        self._cancelling = False
         self._stopping = False
         self._worker_seq = itertools.count()
+        self._session_seq = itertools.count()
+        #: Open sessions by id, in round-robin dispatch order (the session
+        #: just served moves to the back).
+        self._sessions: "OrderedDict[str, _SessionState]" = OrderedDict()
+        self._default_session = self._open_session()
         self._stop_event = threading.Event()
         self._listener: Optional[socket.socket] = None
         self._port: Optional[int] = None
         self._threads: List[threading.Thread] = []
         self._running = False
+        #: Serializes pool bring-up: concurrent sessions may start() at the
+        #: same time, and the listener/threads/spawn sequence is not safe to
+        #: run twice.
+        self._start_lock = threading.Lock()
         self._remote_ready = False
         #: Per-address earliest next re-dial time: a dead remote host costs
         #: a full connect_timeout to probe, so non-strict healing skips it
         #: for a backoff window instead of stalling every start().
         self._remote_retry_at: Dict[Tuple[str, int], float] = {}
+        #: Consecutive failed dials per address; drives the exponential
+        #: re-dial backoff and resets to zero on a successful dial.
+        self._remote_dial_failures: Dict[Tuple[str, int], int] = {}
         self._store: Optional[Any] = None
 
     # ------------------------------------------------------------------ lifecycle
@@ -1124,48 +1333,69 @@ class DistributedExecutor(_OutOfProcessExecutor):
         unreachable workers and proceeds as long as one survives.
         """
         super().start()
-        self._start_io_pool()
-        first = not self._running
-        if first:
-            self._stopping = False
-            self._stop_event.clear()
-            loops = [("dispatch", self._dispatch_loop), ("monitor", self._monitor_loop)]
-            if self.worker_addresses is None:
-                listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-                listener.bind(("127.0.0.1", 0))
-                listener.listen(self.max_workers + 8)
-                # A timeout lets the accept loop poll the stop flag: closing a
-                # socket does not reliably wake a thread blocked in accept().
-                listener.settimeout(0.25)
-                self._listener = listener
-                self._port = listener.getsockname()[1]
-                loops.insert(0, ("accept", self._accept_loop))
-            self._threads = [
-                threading.Thread(target=loop, daemon=True, name=f"repro-dist-{label}")
-                for label, loop in loops
-            ]
-            for thread in self._threads:
-                thread.start()
-            self._running = True
-        with self._cond:
-            for worker_id in [w for w, h in self._workers.items() if not h.alive]:
-                del self._workers[worker_id]
-        if self.worker_addresses is not None:
-            # Strictness is keyed on a *successful* first start, not on the
-            # coordinator threads being up: a failed strict start must stay
-            # strict on retry instead of silently downgrading to best-effort.
-            self._connect_remote_workers(strict=not self._remote_ready)
-            self._remote_ready = True
-            return
-        with self._cond:
-            missing = self.max_workers - len(self._workers)
-        for _ in range(missing):
-            self._spawn_worker()
-        self._await_registration()
+        self._ensure_workers()
+
+    def _ensure_workers(self) -> None:
+        """Bring the shared worker pool up to strength (thread-safe).
+
+        Factored out of :meth:`start` so every :class:`DistributedSession`
+        can call it from its own run thread; the start lock serializes
+        concurrent session starts against each other (the pool is shared
+        state, and the listener/threads/spawn sequence must not run twice).
+        """
+        with self._start_lock:
+            self._start_io_pool()
+            first = not self._running
+            if first:
+                self._stopping = False
+                self._stop_event.clear()
+                loops = [("dispatch", self._dispatch_loop), ("monitor", self._monitor_loop)]
+                if self.worker_addresses is None:
+                    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                    listener.bind(("127.0.0.1", 0))
+                    listener.listen(self.max_workers + 8)
+                    # A timeout lets the accept loop poll the stop flag: closing a
+                    # socket does not reliably wake a thread blocked in accept().
+                    listener.settimeout(0.25)
+                    self._listener = listener
+                    self._port = listener.getsockname()[1]
+                    loops.insert(0, ("accept", self._accept_loop))
+                self._threads = [
+                    threading.Thread(target=loop, daemon=True, name=f"repro-dist-{label}")
+                    for label, loop in loops
+                ]
+                for thread in self._threads:
+                    thread.start()
+                self._running = True
+            with self._cond:
+                for worker_id in [w for w, h in self._workers.items() if not h.alive]:
+                    del self._workers[worker_id]
+            if self.worker_addresses is not None:
+                # Strictness is keyed on a *successful* first start, not on the
+                # coordinator threads being up: a failed strict start must stay
+                # strict on retry instead of silently downgrading to best-effort.
+                self._connect_remote_workers(strict=not self._remote_ready)
+                self._remote_ready = True
+                return
+            with self._cond:
+                missing = self.max_workers - len(self._workers)
+            for _ in range(missing):
+                self._spawn_worker()
+            self._await_registration()
 
     def submit_payload(self, key: str, payload: bytes) -> None:
         """Queue one serialized COMPUTE task for dispatch to an idle worker."""
-        task = _DistributedTask(key, payload, self._results)
+        self._submit(self._default_session, key, payload, self._results)
+
+    def _submit(
+        self,
+        state: _SessionState,
+        key: str,
+        payload: bytes,
+        results: "queue.Queue[Completion]",
+    ) -> None:
+        """Queue one COMPUTE task on a session's lane (shared dispatch)."""
+        task = _DistributedTask(state, key, payload, results)
         with self._cond:
             if not self._running:
                 raise ExecutionError("executor used before start()")
@@ -1173,8 +1403,8 @@ class DistributedExecutor(_OutOfProcessExecutor):
                 raise ExecutionError(
                     "distributed executor has no live workers to dispatch to"
                 )
-            self._outstanding += 1
-            self._queue.append(task)
+            state.outstanding += 1
+            state.queue.append(task)
             self._cond.notify_all()
 
     def finish_run(self, cancel: bool = False) -> None:
@@ -1184,21 +1414,26 @@ class DistributedExecutor(_OutOfProcessExecutor):
         ``cancel``, drops tasks still queued on the coordinator — matching
         the pool executors, a cancelled never-dispatched task produces no
         completion).  In-flight tasks always run to completion or to their
-        worker's death.
+        worker's death.  Only the executor's own default session is
+        drained; concurrent :class:`DistributedSession` runs are untouched
+        (each drains itself).
         """
         super().finish_run(cancel=cancel)
+        self._drain_session(self._default_session, cancel)
+
+    def _drain_session(self, state: _SessionState, cancel: bool) -> None:
         with self._cond:
             if cancel:
-                self._cancelling = True
-                while self._queue:
-                    task = self._queue.pop()
+                state.cancelling = True
+                while state.queue:
+                    task = state.queue.pop()
                     if task.done:
                         continue  # completed elsewhere while still queued
                     task.done = True
-                    self._outstanding -= 1
-            while self._outstanding > 0:
+                    state.outstanding -= 1
+            while state.outstanding > 0:
                 self._cond.wait(timeout=0.1)
-            self._cancelling = False
+            state.cancelling = False
             self._cond.notify_all()
 
     def shutdown(self, cancel: bool = False) -> None:
@@ -1210,10 +1445,20 @@ class DistributedExecutor(_OutOfProcessExecutor):
         managed and loop back to accept the next coordinator.  The listener
         and coordinator threads are released.  The instance can be
         ``start``-ed again afterwards.
+
+        Open :class:`DistributedSession` runs are drained with cancel
+        first — closing the fleet under a running session is the owner's
+        call to make, and nothing may be left waiting on completions.
         """
         if not self._running and self._io_pool is None:
             return
         self.finish_run(cancel=cancel)
+        with self._cond:
+            others = [
+                s for s in self._sessions.values() if s is not self._default_session
+            ]
+        for state in others:
+            self._drain_session(state, cancel=True)
         with self._cond:
             self._stopping = True
             handles = list(self._workers.values())
@@ -1250,7 +1495,33 @@ class DistributedExecutor(_OutOfProcessExecutor):
         self._running = False
         self._remote_ready = False
         self._remote_retry_at.clear()
+        self._remote_dial_failures.clear()
         self._shutdown_io_pool(cancel)
+
+    # ------------------------------------------------------------------ sessions
+    def session(self) -> "DistributedSession":
+        """Open a new run session multiplexed onto this executor's workers.
+
+        The returned :class:`DistributedSession` is a full executor whose
+        tasks share this fleet's worker processes with every other open
+        session (and with the fleet's own default session), dispatched
+        round-robin.  The caller owns it: pass it to an engine or a
+        ``System`` (engines only drain it between runs) and close it with
+        its ``shutdown()`` when the run is over — the fleet stays up.
+        """
+        return DistributedSession(self)
+
+    def _open_session(self) -> _SessionState:
+        state = _SessionState(f"s{next(self._session_seq)}")
+        with self._cond:
+            self._sessions[state.session_id] = state
+        return state
+
+    def _close_session(self, state: _SessionState) -> None:
+        with self._cond:
+            state.open = False
+            self._sessions.pop(state.session_id, None)
+            self._cond.notify_all()
 
     # ------------------------------------------------------------------ introspection
     def worker_pids(self) -> Dict[str, int]:
@@ -1284,7 +1555,13 @@ class DistributedExecutor(_OutOfProcessExecutor):
             self._workers[worker_id] = handle
         process = multiprocessing.get_context().Process(
             target=_distributed_worker_main,
-            args=("127.0.0.1", self._port, worker_id, self.heartbeat_interval),
+            args=(
+                "127.0.0.1",
+                self._port,
+                worker_id,
+                self.heartbeat_interval,
+                self.fetch_timeout,
+            ),
             daemon=True,
             name=f"repro-dist-{worker_id}",
         )
@@ -1322,15 +1599,31 @@ class DistributedExecutor(_OutOfProcessExecutor):
         booting gets its grace period.  Non-strict (pool healing on reuse):
         one attempt per address; unreachable workers produce a warning, and
         the run proceeds on the survivors (raising only when none is left).
+
+        Failed dials back off exponentially from ``redial_backoff`` seconds
+        (doubling per consecutive failure, capped at ``max(5, 2 *
+        connect_timeout)``) and the counter resets on a successful dial — a
+        worker that merely restarted between lifecycle iterations is picked
+        back up on the next healing pass, while a host that stays dead
+        quickly escalates to the cap instead of costing a connect_timeout
+        probe per start().
         """
         deadline = time.monotonic() + (self.start_timeout if strict else 0.0)
-        backoff = max(5.0, 2.0 * self.connect_timeout)
+        backoff_cap = max(5.0, 2.0 * self.connect_timeout)
         failures: Dict[str, BaseException] = {}
         attempted = False
         while True:
             missing = self._missing_remote_addresses()
             if not missing:
                 return
+            # The deadline gates every pass — including passes whose dials
+            # all "succeeded" but whose workers died right after registering
+            # (a crash-looping worker must not spin this loop forever).
+            # Checked before the backoff filter so a pass that just failed
+            # falls through to the warn/raise reporting below instead of
+            # returning silently with the pool under strength.
+            if attempted and time.monotonic() >= deadline:
+                break
             if not strict:
                 # Healing: skip addresses that failed a dial recently — a
                 # dead host costs a full connect_timeout to probe, and an
@@ -1347,11 +1640,6 @@ class DistributedExecutor(_OutOfProcessExecutor):
                     ]
                     if not missing:
                         return
-            # The deadline gates every pass — including passes whose dials
-            # all "succeeded" but whose workers died right after registering
-            # (a crash-looping worker must not spin this loop forever).
-            if attempted and time.monotonic() >= deadline:
-                break
             progress = False
             for address in missing:
                 label = f"{address[0]}:{address[1]}"
@@ -1359,10 +1647,14 @@ class DistributedExecutor(_OutOfProcessExecutor):
                     self._connect_remote(address)
                 except (OSError, ExecutionError) as exc:
                     failures[label] = exc
+                    count = self._remote_dial_failures.get(address, 0) + 1
+                    self._remote_dial_failures[address] = count
+                    backoff = min(backoff_cap, self.redial_backoff * 2.0 ** (count - 1))
                     self._remote_retry_at[address] = time.monotonic() + backoff
                 else:
                     failures.pop(label, None)
                     self._remote_retry_at.pop(address, None)
+                    self._remote_dial_failures.pop(address, None)
                     progress = True
             attempted = True
             if not progress and time.monotonic() < deadline:
@@ -1512,26 +1804,34 @@ class DistributedExecutor(_OutOfProcessExecutor):
         Each worker connection holds up to ``pipeline_depth`` dispatched
         tasks: while the worker executes one, the next is already framed
         onto its socket (and acked by the worker's reader thread), so short
-        tasks do not pay a full coordinator round trip each.
+        tasks do not pay a full coordinator round trip each.  Tasks are
+        drawn from the open sessions' FIFO lanes round-robin — the session
+        just served rotates to the back — so concurrent runs multiplexed
+        onto one fleet interleave fairly instead of queuing behind
+        whichever run submitted first.
         """
         while True:
             with self._cond:
                 worker = None
+                task = None
                 while not self._stopping:
-                    if self._queue:
+                    if any(s.queue for s in self._sessions.values()):
                         worker = self._pick_available_worker()
                         if worker is not None:
-                            break
+                            task = self._next_task_locked()
+                            if task is not None:
+                                break
                     self._cond.wait(timeout=0.5)
                 if self._stopping:
                     return
-                task = self._queue.popleft()
                 task.attempts += 1
                 task.acked = False
-                worker.inflight[task.key] = task
+                worker.inflight[(task.session.session_id, task.key)] = task
             try:
                 _send_message(
-                    worker.sock, ("task", task.key, task.payload), worker.send_lock
+                    worker.sock,
+                    ("task", task.session.session_id, task.key, task.payload),
+                    worker.send_lock,
                 )
             except OSError:
                 self._worker_failed(worker)
@@ -1540,7 +1840,7 @@ class DistributedExecutor(_OutOfProcessExecutor):
                 # frame limit): that is a *task* failure, not a worker death —
                 # fail the task, keep the worker and the dispatch loop alive.
                 with self._cond:
-                    worker.inflight.pop(task.key, None)
+                    worker.inflight.pop((task.session.session_id, task.key), None)
                     self._cond.notify_all()
                 self._complete(
                     task,
@@ -1550,6 +1850,15 @@ class DistributedExecutor(_OutOfProcessExecutor):
                         f"worker {worker.worker_id!r}: {exc}"
                     ),
                 )
+
+    def _next_task_locked(self) -> Optional[_DistributedTask]:
+        """Pop the next task round-robin across session lanes (lock held)."""
+        for session_id in list(self._sessions):
+            state = self._sessions[session_id]
+            if state.queue:
+                self._sessions.move_to_end(session_id)
+                return state.queue.popleft()
+        return None
 
     def _pick_available_worker(self) -> Optional[_WorkerHandle]:
         """The least-loaded live worker with pipeline capacity (lock held).
@@ -1603,20 +1912,22 @@ class DistributedExecutor(_OutOfProcessExecutor):
             kind = message[0]
             if kind == "ack":
                 with self._lock:
-                    task = worker.inflight.get(message[2])
+                    task = worker.inflight.get((message[2], message[3]))
                     if task is not None:
                         task.acked = True
             elif kind == "result":
-                self._task_finished(worker, message[1], reply=message[2])
+                self._task_finished(worker, message[1], message[2], reply=message[3])
             elif kind == "error":
-                self._task_finished(worker, message[1], error=message[2])
+                self._task_finished(worker, message[1], message[2], error=message[3])
             elif kind == "fetch":
-                self._serve_fetch(worker, message[2])
+                self._serve_fetch(worker, message[2], message[3])
             # heartbeats only refresh last_seen, done above
         self._worker_failed(worker)
 
-    def _serve_fetch(self, worker: _WorkerHandle, signature: str) -> None:
-        """Answer a worker's artifact fetch from the bound store.
+    def _serve_fetch(
+        self, worker: _WorkerHandle, session_id: str, signature: str
+    ) -> None:
+        """Answer a worker's artifact fetch from the session's bound store.
 
         The store read and the reply run on the coordinator's I/O pool so a
         slow disk read never stalls this worker's receive loop (which must
@@ -1627,13 +1938,21 @@ class DistributedExecutor(_OutOfProcessExecutor):
         """
         pool = self._io_pool
         if pool is None:
-            self._answer_fetch(worker, signature)
+            self._answer_fetch(worker, session_id, signature)
         else:
-            pool.submit(self._answer_fetch, worker, signature)
+            pool.submit(self._answer_fetch, worker, session_id, signature)
 
-    def _answer_fetch(self, worker: _WorkerHandle, signature: str) -> None:
+    def _answer_fetch(
+        self, worker: _WorkerHandle, session_id: str, signature: str
+    ) -> None:
         blob: Optional[bytes] = None
-        store = self._store
+        with self._cond:
+            state = self._sessions.get(session_id)
+        # Concurrent sessions can bind different stores; the fetch must be
+        # answered from the store of the session that shipped the ref.
+        # Fleet-level bind_store stays the fallback (the default session,
+        # and sessions that never bound one).
+        store = state.store if state is not None and state.store is not None else self._store
         if store is not None:
             try:
                 loader = getattr(store, "load_serialized", None)
@@ -1651,12 +1970,18 @@ class DistributedExecutor(_OutOfProcessExecutor):
             except Exception:  # noqa: BLE001 - report as missing, task errors typed
                 blob = None
         try:
-            _send_message(worker.sock, ("artifact", signature, blob), worker.send_lock)
+            _send_message(
+                worker.sock, ("artifact", session_id, signature, blob), worker.send_lock
+            )
         except OSError:
             pass  # worker death is handled by its receive loop / monitor
         except Exception:  # noqa: BLE001 - e.g. artifact above the frame limit
             try:
-                _send_message(worker.sock, ("artifact", signature, None), worker.send_lock)
+                _send_message(
+                    worker.sock,
+                    ("artifact", session_id, signature, None),
+                    worker.send_lock,
+                )
             except OSError:
                 pass
 
@@ -1693,12 +2018,13 @@ class DistributedExecutor(_OutOfProcessExecutor):
     def _task_finished(
         self,
         worker: _WorkerHandle,
+        session_id: str,
         key: str,
         reply: Optional[bytes] = None,
         error: Optional[BaseException] = None,
     ) -> None:
         with self._cond:
-            task = worker.inflight.pop(key, None)
+            task = worker.inflight.pop((session_id, key), None)
             self._cond.notify_all()  # the worker is idle again
         if task is None:
             return  # replay of a task already requeued elsewhere; first reply won
@@ -1719,7 +2045,7 @@ class DistributedExecutor(_OutOfProcessExecutor):
             if task.done:
                 return
             task.done = True
-            self._outstanding -= 1
+            task.session.outstanding -= 1
             self._cond.notify_all()
         task.results.put((task.key, outcome, error))
 
@@ -1735,7 +2061,7 @@ class DistributedExecutor(_OutOfProcessExecutor):
         never retire a task a second time.
         """
         failures: List[_DistributedTask] = []
-        requeue: List[_DistributedTask] = []
+        requeue: "OrderedDict[str, List[_DistributedTask]]" = OrderedDict()
         with self._cond:
             if not worker.alive:
                 return
@@ -1746,21 +2072,28 @@ class DistributedExecutor(_OutOfProcessExecutor):
             for task in orphans:
                 if task.done:
                     continue
-                if self._cancelling:
+                if task.session.cancelling:
                     # The run is being torn down: drop silently, like a
                     # cancelled future (nobody reads this run's completions).
                     task.done = True
-                    self._outstanding -= 1
+                    task.session.outstanding -= 1
                 elif task.attempts >= self.max_task_attempts or not survivors:
                     failures.append(task)
                 else:
-                    requeue.append(task)
-            self._queue.extendleft(reversed(requeue))
+                    requeue.setdefault(task.session.session_id, []).append(task)
+            # Orphans go back to the *front* of their own session's lane,
+            # in original dispatch order, so a death never reorders a run.
+            for session_id, tasks in requeue.items():
+                state = self._sessions.get(session_id)
+                if state is None:
+                    state = tasks[0].session  # session closed mid-flight
+                state.queue.extendleft(reversed(tasks))
             if not survivors:
-                # No worker left to drain the queue: fail queued tasks too,
-                # or the engine would wait forever on completions.
-                while self._queue:
-                    failures.append(self._queue.popleft())
+                # No worker left to drain the queues: fail queued tasks too,
+                # or the engines would wait forever on completions.
+                for state in self._sessions.values():
+                    while state.queue:
+                        failures.append(state.queue.popleft())
             self._cond.notify_all()
         if worker.sock is not None:
             worker.sock.close()
@@ -1781,6 +2114,83 @@ class DistributedExecutor(_OutOfProcessExecutor):
                     f"{'no retry budget remains' if task.attempts >= self.max_task_attempts else 'no worker survives to retry it'}"
                 ),
             )
+
+
+class DistributedSession(Executor):
+    """One multiplexed run session on a shared :class:`DistributedExecutor`.
+
+    Opened with :meth:`DistributedExecutor.session`, a session implements
+    the full executor contract — ``start`` / ``submit`` /
+    ``submit_payload`` / ``next_completion`` / ``finish_run`` — against its
+    *own* completion queue, outstanding-task bookkeeping and bound store,
+    while every session's COMPUTE tasks share the fleet's worker processes
+    (dispatched round-robin across sessions and tagged with the session id
+    on the wire).  That is what lets several engines — e.g. the ``repro
+    serve`` daemon's concurrent runs — execute on one warm worker pool at
+    the same time without their completions, fetches or drains
+    interfering.
+
+    Sessions are caller-owned executor instances in the sense of
+    ``docs/executors.md``: engines drain them with ``finish_run``, and the
+    opener runs the final :meth:`shutdown`, which closes *only this
+    session* — the fleet and its workers stay up for other sessions (the
+    fleet's owner calls ``fleet.shutdown()`` at the very end).  ``start``
+    transparently heals the shared pool, exactly like the fleet's own
+    ``start``.
+    """
+
+    out_of_process = True
+
+    def __init__(self, fleet: DistributedExecutor) -> None:
+        super().__init__()
+        self.name = "distributed-session"
+        self._fleet = fleet
+        self._state = fleet._open_session()
+        self.max_workers = fleet.max_workers
+        self.uses_artifact_refs = fleet.uses_artifact_refs
+
+    @property
+    def session_id(self) -> str:
+        """Wire-level id tagging this session's frames (``"s<n>"``)."""
+        return self._state.session_id
+
+    @property
+    def fleet(self) -> DistributedExecutor:
+        """The shared executor whose workers run this session's tasks."""
+        return self._fleet
+
+    def bind_store(self, store: Any) -> None:
+        """Bind the store this session's artifact fetches are served from."""
+        self._state.store = store
+
+    def start(self) -> None:
+        if not self._state.open:
+            raise ExecutionError(
+                "distributed session is closed; open a new one with "
+                "DistributedExecutor.session()"
+            )
+        super().start()
+        self._fleet._ensure_workers()
+
+    def submit(self, key: str, fn: Callable[[], Any]) -> None:
+        """Run an in-process task (store LOAD) on the fleet's I/O pool."""
+        pool = self._fleet._io_pool
+        assert pool is not None, "session used before start()"
+        self._track(key, pool.submit(fn), self._deliver_future)
+
+    def submit_payload(self, key: str, payload: bytes) -> None:
+        self._fleet._submit(self._state, key, payload, self._results)
+
+    def finish_run(self, cancel: bool = False) -> None:
+        super().finish_run(cancel=cancel)
+        self._fleet._drain_session(self._state, cancel)
+
+    def shutdown(self, cancel: bool = False) -> None:
+        """Drain and close this session; the fleet stays up."""
+        if not self._state.open:
+            return
+        self.finish_run(cancel=cancel)
+        self._fleet._close_session(self._state)
 
 
 _EXECUTORS: Dict[str, Type[Executor]] = {

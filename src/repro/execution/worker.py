@@ -6,8 +6,17 @@ coordinator reaches through
 ``workers=`` plumbing: ``create_engine(..., workers=...)``,
 ``System.configure_executor("distributed", workers=...)``,
 ``run_lifecycle(..., executor="distributed", workers=...)``).  The worker
-serves coordinator sessions one at a time and survives across them, so one
-long-lived process amortizes interpreter startup over many runs.
+serves coordinator *connections* one at a time and survives across them, so
+one long-lived process amortizes interpreter startup over many runs.
+
+Within a single connection the protocol (version 3) is session-multiplexed:
+every task, fetch and result frame carries the coordinator-side session id,
+so one coordinator — e.g. the ``repro serve`` daemon — can interleave tasks
+from several concurrent workflow runs over the same worker.  The worker
+keeps fetch state and value caches per session and answers each frame on
+the lane it arrived for; ``--max-sessions`` counts coordinator
+*connections* (one ``DistributedExecutor`` lifetime), not these in-flight
+logical sessions.
 
 Typical use — two loopback workers for a smoke test::
 

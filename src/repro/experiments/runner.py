@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -95,6 +95,7 @@ def run_lifecycle(
     engine: Optional[str] = None,
     max_workers: Optional[int] = None,
     workers: Optional[Sequence[str]] = None,
+    on_iteration: Optional[Callable[[IterationSpec, RunStats], None]] = None,
 ) -> LifecycleResult:
     """Run ``system`` through a full iterative lifecycle of ``workload``.
 
@@ -130,6 +131,11 @@ def run_lifecycle(
         repro.execution.worker`` processes the coordinator connects to
         instead of spawning local workers.  Only valid with
         ``executor="distributed"``.
+    on_iteration:
+        Invoked as ``on_iteration(spec, stats)`` after each iteration
+        completes — the ``repro serve`` daemon uses it to stream run
+        progress to submitters while the lifecycle is still executing.
+        Exceptions it raises abort the lifecycle.
 
     Returns
     -------
@@ -177,6 +183,8 @@ def run_lifecycle(
         stats = system.run_iteration(wf, iteration=spec.index, iteration_type=spec.kind)
         stats.workflow_name = workload.name
         result.iterations.append(stats)
+        if on_iteration is not None:
+            on_iteration(spec, stats)
     return result
 
 

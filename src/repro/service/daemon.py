@@ -1,0 +1,468 @@
+"""The ``repro serve`` daemon: a shared worker fleet behind a submit API.
+
+One long-lived :class:`ServeDaemon` owns a
+:class:`~repro.execution.executors.DistributedExecutor` worker fleet and
+accepts workflow-run submissions over the same framed wire protocol the
+executor transport uses (:mod:`repro.storage.serialization`).  Each accepted
+run executes a full :func:`~repro.experiments.runner.run_lifecycle` on its
+own :class:`~repro.execution.executors.DistributedSession`, so several runs
+share the warm worker processes concurrently — the session multiplexing of
+protocol version 3 — instead of each run paying worker startup or queuing
+behind a per-run coordinator.
+
+Scheduling is deliberately simple and fair: submissions are admitted FIFO
+into a single queue drained by ``max_concurrent_runs`` runner threads.
+Admission order decides *start* order; once started, runs share workers
+fairly through the fleet's round-robin session dispatch.
+
+Service wire protocol (client side in :mod:`repro.service.client`)::
+
+    client:  ("submit", spec)
+    daemon:  ("accepted", run_id, queue_position)
+             ("progress", run_id, info_dict)      # one per iteration
+             ("done", run_id, payload)            # terminal, or:
+             ("failed", run_id, message)          # terminal
+
+``spec`` is a plain dict (see :func:`validate_spec`) naming the workload,
+iteration count, scale, seed, Helix materialization policy and cost model.
+``payload`` is JSON-serializable: the lifecycle summary plus the
+equivalence harness's canonical per-iteration views
+(:func:`~repro.execution.equivalence.canonical_lifecycle`), which is what
+makes a served run directly comparable to an inline run of the same spec.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..exceptions import ExecutionError
+from ..execution.clock import SimulatedCostModel
+from ..execution.equivalence import canonical_lifecycle
+from ..execution.executors import (
+    DistributedExecutor,
+    _recv_message,
+    _send_message,
+    parse_worker_address,
+)
+from ..experiments.runner import LifecycleResult, run_lifecycle
+from ..systems.helix import HelixSystem
+from ..workloads.base import get_workload
+
+__all__ = [
+    "ServeDaemon",
+    "validate_spec",
+    "build_system",
+    "run_spec",
+    "lifecycle_payload",
+    "POLICIES",
+    "COST_MODELS",
+]
+
+#: Helix materialization policies a spec may name, mapped to the
+#: :class:`HelixSystem` variant factories.
+POLICIES = {
+    "opt": HelixSystem.opt,
+    "am": HelixSystem.always_materialize,
+    "nm": HelixSystem.never_materialize,
+}
+
+#: Cost models a spec may name.  ``"simulated"`` charges deterministic
+#: declared times, so a served run is bit-comparable to an inline run;
+#: ``"measured"`` charges wall clock (timings then legitimately differ).
+COST_MODELS = ("simulated", "measured")
+
+
+def validate_spec(spec: Any) -> Dict[str, Any]:
+    """Normalize and validate a submitted workload spec.
+
+    Returns a dict with exactly the keys ``workload``, ``iterations``,
+    ``scale``, ``seed``, ``policy``, ``cost_model``.  Raises
+    :class:`ExecutionError` on anything malformed, so the daemon can refuse
+    a bad submission at admission time instead of failing mid-run.
+    """
+    if not isinstance(spec, dict):
+        raise ExecutionError(f"run spec must be a dict, got {type(spec).__name__}")
+    known = {"workload", "iterations", "scale", "seed", "policy", "cost_model"}
+    unknown = sorted(set(spec) - known)
+    if unknown:
+        raise ExecutionError(f"run spec has unknown field(s): {unknown}")
+    workload = spec.get("workload")
+    if not isinstance(workload, str):
+        raise ExecutionError("run spec needs a workload name (string)")
+    try:
+        get_workload(workload)
+    except KeyError as exc:
+        raise ExecutionError(str(exc)) from None
+    try:
+        iterations = int(spec.get("iterations", 0))
+        scale = float(spec.get("scale", 1.0))
+        seed = int(spec.get("seed", 7))
+    except (TypeError, ValueError) as exc:
+        raise ExecutionError(f"run spec has a non-numeric field: {exc}") from None
+    if iterations < 0:
+        raise ExecutionError("iterations must be >= 0 (0 = workload default)")
+    if scale <= 0:
+        raise ExecutionError("scale must be positive")
+    policy = spec.get("policy", "opt")
+    if policy not in POLICIES:
+        raise ExecutionError(
+            f"unknown policy {policy!r}; expected one of {sorted(POLICIES)}"
+        )
+    cost_model = spec.get("cost_model", "simulated")
+    if cost_model not in COST_MODELS:
+        raise ExecutionError(
+            f"unknown cost_model {cost_model!r}; expected one of {list(COST_MODELS)}"
+        )
+    return {
+        "workload": workload,
+        "iterations": iterations,
+        "scale": scale,
+        "seed": seed,
+        "policy": policy,
+        "cost_model": cost_model,
+    }
+
+
+def build_system(spec: Dict[str, Any]) -> HelixSystem:
+    """Build the Helix variant a validated spec names (executor unconfigured)."""
+    factory = POLICIES[spec["policy"]]
+    if spec["cost_model"] == "simulated":
+        return factory(cost_model=SimulatedCostModel(), seed=spec["seed"])
+    return factory(seed=spec["seed"])
+
+
+def lifecycle_payload(result: LifecycleResult) -> Dict[str, Any]:
+    """The JSON-serializable result payload of one served (or inline) run.
+
+    Times and storage bytes are excluded from the canonical iteration views
+    — they are the legitimately run-dependent part — so two payloads for
+    the same spec are equal exactly when the runs were equivalent "modulo
+    timing/memory".
+    """
+    return {
+        "summary": result.summary(),
+        "iteration_types": result.iteration_types(),
+        "iterations": canonical_lifecycle(
+            result.iterations, include_times=False, include_storage=False
+        ),
+    }
+
+
+def run_spec(
+    spec: Dict[str, Any],
+    executor: Any = "inline",
+    on_iteration: Any = None,
+) -> Dict[str, Any]:
+    """Run a validated spec to completion and return its result payload.
+
+    ``executor`` is anything :meth:`System.configure_executor` accepts — the
+    daemon passes a :class:`DistributedSession`, the inline-verification
+    path passes ``"inline"``.
+    """
+    system = build_system(spec)
+    system.configure_executor(executor)
+    try:
+        result = run_lifecycle(
+            system,
+            spec["workload"],
+            n_iterations=spec["iterations"],
+            seed=spec["seed"],
+            scale=spec["scale"],
+            on_iteration=on_iteration,
+        )
+    finally:
+        system.close_executor()
+    return lifecycle_payload(result)
+
+
+class _RunRecord:
+    """One admitted submission travelling through the daemon."""
+
+    __slots__ = ("run_id", "spec", "sock", "send_lock", "client_gone")
+
+    def __init__(self, run_id: str, spec: Dict[str, Any], sock: socket.socket):
+        self.run_id = run_id
+        self.spec = spec
+        self.sock = sock
+        self.send_lock = threading.Lock()
+        self.client_gone = False
+
+    def send(self, message: Tuple[Any, ...]) -> None:
+        """Best-effort frame to the submitter; a vanished client is not fatal."""
+        if self.client_gone:
+            return
+        try:
+            _send_message(self.sock, message, self.send_lock)
+        except Exception:  # noqa: BLE001 - client gone; the run itself continues
+            self.client_gone = True
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class ServeDaemon:
+    """Long-lived Helix service: one worker fleet, many concurrent runs.
+
+    Parameters
+    ----------
+    host, port:
+        Listening address for submissions (``port=0`` binds an ephemeral
+        port; read :attr:`address` after :meth:`start`).
+    max_workers:
+        Locally-spawned worker count for the owned fleet (mutually
+        exclusive with ``workers``, exactly like
+        :class:`DistributedExecutor`).
+    workers:
+        Pre-started remote worker addresses (``"host:port"``) the fleet
+        connects to instead of spawning.
+    max_concurrent_runs:
+        Runner threads draining the admission queue — the maximum number
+        of workflow runs executing on the fleet at once.  Further
+        submissions queue FIFO and report their queue position at
+        admission.
+    heartbeat_interval, fetch_timeout:
+        Forwarded to the owned fleet.
+
+    Lifecycle: :meth:`start` warms the fleet and opens the listener;
+    :meth:`stop` drains, fails still-queued submissions, and shuts the
+    fleet down.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: Optional[int] = None,
+        workers: Optional[Sequence[Union[str, Tuple[str, int]]]] = None,
+        max_concurrent_runs: int = 2,
+        heartbeat_interval: float = 0.5,
+        fetch_timeout: float = 60.0,
+    ) -> None:
+        if max_concurrent_runs < 1:
+            raise ExecutionError("max_concurrent_runs must be at least 1")
+        self.host = host
+        self.port = port
+        self.max_concurrent_runs = int(max_concurrent_runs)
+        self._fleet = DistributedExecutor(
+            max_workers=max_workers,
+            workers=workers,
+            heartbeat_interval=heartbeat_interval,
+            fetch_timeout=fetch_timeout,
+            fetch_inputs=True,
+        )
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._queue: "queue.Queue[Optional[_RunRecord]]" = queue.Queue()
+        self._run_seq = itertools.count(1)
+        self._stopping = threading.Event()
+        self._stats_lock = threading.Lock()
+        self._queued = 0
+        self._active = 0
+        self._peak_active = 0
+        self._completed: List[str] = []
+        self._failed: List[str] = []
+        self._started = False
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> Tuple[str, int]:
+        """Warm the worker fleet, open the listener; returns the bound address."""
+        if self._started:
+            return self.address
+        self._fleet.start()  # strict first start: a bad fleet config fails here
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(16)
+        # A timeout lets the accept loop poll the stop flag: closing a
+        # socket does not reliably wake a thread blocked in accept().
+        listener.settimeout(0.25)
+        self._listener = listener
+        self._stopping.clear()
+        self._threads = [
+            threading.Thread(
+                target=self._accept_loop, daemon=True, name="repro-serve-accept"
+            )
+        ]
+        for index in range(self.max_concurrent_runs):
+            self._threads.append(
+                threading.Thread(
+                    target=self._runner_loop,
+                    daemon=True,
+                    name=f"repro-serve-run-{index}",
+                )
+            )
+        for thread in self._threads:
+            thread.start()
+        self._started = True
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` submissions connect to."""
+        if self._listener is None:
+            raise ExecutionError("daemon not started")
+        return self._listener.getsockname()[:2]
+
+    def stop(self) -> None:
+        """Refuse new submissions, fail queued ones, drain and stop the fleet."""
+        if not self._started:
+            return
+        self._stopping.set()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        for _ in range(self.max_concurrent_runs):
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        self._threads = []
+        # Anything still queued never got a runner: tell its submitter.
+        while True:
+            try:
+                record = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if record is not None:
+                record.send(("failed", record.run_id, "daemon stopped before the run started"))
+                record.close()
+        self._fleet.shutdown()
+        self._started = False
+
+    def __enter__(self) -> "ServeDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ introspection
+    def stats(self) -> Dict[str, Any]:
+        """Scheduler counters (tests and operators): active/peak/completed."""
+        with self._stats_lock:
+            return {
+                "queued": self._queued,
+                "active": self._active,
+                "peak_active": self._peak_active,
+                "completed": list(self._completed),
+                "failed": list(self._failed),
+            }
+
+    def worker_pids(self) -> Dict[str, int]:
+        """Live worker PIDs of the owned fleet (see ``DistributedExecutor``)."""
+        return self._fleet.worker_pids()
+
+    # ------------------------------------------------------------------ loops
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stopping.is_set():
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed by stop()
+            threading.Thread(
+                target=self._handle_submission,
+                args=(conn,),
+                daemon=True,
+                name="repro-serve-admit",
+            ).start()
+
+    def _handle_submission(self, conn: socket.socket) -> None:
+        """Admit one connection: validate its spec, queue it FIFO, hand off."""
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn.settimeout(10.0)
+        try:
+            message = _recv_message(conn)
+            conn.settimeout(None)
+        except Exception:  # noqa: BLE001 - reject peers that talk garbage
+            conn.close()
+            return
+        if not (isinstance(message, tuple) and len(message) == 2 and message[0] == "submit"):
+            try:
+                _send_message(conn, ("failed", "", "expected a (submit, spec) frame"))
+            except Exception:  # noqa: BLE001 - best-effort refusal
+                pass
+            conn.close()
+            return
+        try:
+            spec = validate_spec(message[1])
+        except ExecutionError as exc:
+            try:
+                _send_message(conn, ("failed", "", str(exc)))
+            except Exception:  # noqa: BLE001 - best-effort refusal
+                pass
+            conn.close()
+            return
+        record = _RunRecord(f"run-{next(self._run_seq)}", spec, conn)
+        with self._stats_lock:
+            # Admitted-but-unfinished runs ahead of this one: both the
+            # queued ones and those a runner already picked up.
+            position = self._queued + self._active
+            self._queued += 1
+        record.send(("accepted", record.run_id, position))
+        self._queue.put(record)
+
+    def _runner_loop(self) -> None:
+        while True:
+            record = self._queue.get()
+            if record is None:
+                return
+            with self._stats_lock:
+                self._queued -= 1
+                self._active += 1
+                self._peak_active = max(self._peak_active, self._active)
+            # Counters update before the terminal frame goes out, so a
+            # submitter that just saw "done" observes consistent stats().
+            try:
+                payload = self._execute(record)
+            except Exception as exc:  # noqa: BLE001 - reported to the submitter
+                with self._stats_lock:
+                    self._failed.append(record.run_id)
+                record.send(
+                    ("failed", record.run_id, f"{type(exc).__name__}: {exc}")
+                )
+            else:
+                with self._stats_lock:
+                    self._completed.append(record.run_id)
+                record.send(("done", record.run_id, payload))
+            finally:
+                record.close()
+                with self._stats_lock:
+                    self._active -= 1
+
+    def _execute(self, record: _RunRecord) -> Dict[str, Any]:
+        """Run one admitted spec on its own session of the shared fleet."""
+        session = self._fleet.session()
+
+        def _progress(spec_it, stats) -> None:
+            record.send(
+                (
+                    "progress",
+                    record.run_id,
+                    {
+                        "iteration": spec_it.index,
+                        "kind": spec_it.kind,
+                        "executed_nodes": len(stats.node_times),
+                        "total_time": float(stats.total_time),
+                    },
+                )
+            )
+
+        try:
+            return run_spec(record.spec, executor=session, on_iteration=_progress)
+        finally:
+            # cancel=True: on failure nothing may stay queued on the fleet.
+            session.shutdown(cancel=True)
+
+
+def parse_service_address(spec: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    """Canonicalize a ``host:port`` service address (same rules as workers)."""
+    return parse_worker_address(spec)

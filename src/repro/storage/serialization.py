@@ -35,6 +35,15 @@ Protocol version history
   ``("fetch", worker_id, signature)`` requests answered by
   ``("artifact", signature, payload_bytes | None)`` frames served from the
   coordinator's materialization store.
+* **3** — session multiplexing: every task-related message is tagged with
+  the id of the coordinator run session it belongs to, so one worker
+  connection can interleave tasks from several concurrent runs.  The
+  message tuples become ``("task", session, key, payload)``,
+  ``("ack", worker_id, session, key)``, ``("result", session, key,
+  reply)``, ``("error", session, key, exc)``, ``("fetch", worker_id,
+  session, signature)`` and ``("artifact", session, signature,
+  payload_bytes | None)``; registration, heartbeat and shutdown are
+  unchanged (they are connection-level, not session-level).
 """
 
 from __future__ import annotations
@@ -71,9 +80,9 @@ FRAME_MAGIC = b"HX"
 
 #: Version of the coordinator/worker wire protocol.  Bump on any change to
 #: the frame layout *or* to the message tuples exchanged inside frames.
-#: (2 = the FETCH/ARTIFACT lane + :class:`ArtifactRef` payload inputs; see
-#: the version history in the module docstring.)
-PROTOCOL_VERSION = 2
+#: (3 = session-tagged task/result/error/fetch/artifact messages; see the
+#: version history in the module docstring.)
+PROTOCOL_VERSION = 3
 
 #: Upper bound on a single frame's payload (1 GiB).  A length above this is
 #: treated as a corrupt header rather than an allocation request.
@@ -133,10 +142,11 @@ class ArtifactRef:
     coordinator's filesystem, inputs whose value is already materialized are
     replaced by an ``ArtifactRef`` carrying only the artifact's signature.
     The worker resolves the reference over its coordinator connection with a
-    ``("fetch", worker_id, signature)`` message, answered by an
-    ``("artifact", signature, bytes)`` frame — the LOAD lane of protocol
-    version 2.  Refs are picklable and compare by signature, so payloads
-    containing them round-trip like any other serialized task.
+    ``("fetch", worker_id, session, signature)`` message, answered by an
+    ``("artifact", session, signature, bytes)`` frame — the LOAD lane
+    introduced in protocol version 2 (session-tagged since version 3).
+    Refs are picklable and compare by signature, so payloads containing
+    them round-trip like any other serialized task.
     """
 
     __slots__ = ("signature",)

@@ -61,6 +61,7 @@ from repro.execution.equivalence import (
 from repro.execution.executors import (
     DistributedExecutor,
     WorkerServer,
+    _FetchCache,
     parse_worker_address,
     run_serialized_task,
 )
@@ -97,6 +98,16 @@ class WorkerSuicideOperator(Operator):
         os._exit(17)
 
 
+class InterruptOperator(Operator):
+    """Raises KeyboardInterrupt mid-task, like a Ctrl-C hitting the worker."""
+
+    def config(self):
+        return {}
+
+    def run(self, inputs, context):
+        raise KeyboardInterrupt
+
+
 def _all_compute_plan(dag: WorkflowDAG):
     return solve_oep(
         dag,
@@ -118,12 +129,12 @@ def _engine_for(executor, **kwargs):
     )
 
 
-def _listen_worker_main(port_queue, worker_id=None, heartbeat_interval=0.5):
+def _listen_worker_main(port_queue, worker_id=None, heartbeat_interval=0.5, port=0):
     """Entry point of a pre-started listening worker (module-level: spawn-safe)."""
     WorkerServer.listen(
-        "127.0.0.1", 0, worker_id=worker_id,
+        "127.0.0.1", port, worker_id=worker_id,
         heartbeat_interval=heartbeat_interval,
-        on_ready=lambda _host, port: port_queue.put(port),
+        on_ready=lambda _host, bound_port: port_queue.put(bound_port),
     )
 
 
@@ -341,7 +352,7 @@ class TestWorkerFailureHandling:
         original = executors_module._send_message
 
         def refusing(sock, message, lock=None):
-            if isinstance(message, tuple) and message[0] == "task" and message[1] == "bad":
+            if isinstance(message, tuple) and message[0] == "task" and message[2] == "bad":
                 raise ProtocolError("frame payload exceeds the frame limit")
             return original(sock, message, lock)
 
@@ -381,7 +392,7 @@ class TestWorkerFailureHandling:
         original = executors_module._send_message
 
         def refusing(sock, message, lock=None):
-            if isinstance(message, tuple) and message[0] == "result" and message[1] == "huge":
+            if isinstance(message, tuple) and message[0] == "result" and message[2] == "huge":
                 raise ProtocolError("frame payload exceeds the frame limit")
             return original(sock, message, lock)
 
@@ -941,6 +952,56 @@ class TestReviewRegressions:
         finally:
             executor.shutdown()
 
+    def test_interrupt_reports_error_then_kills_the_worker_loop(self):
+        """A KeyboardInterrupt raised during task execution must be reported
+        back as a task error AND still tear the worker loop down — the old
+        ``BaseException``-and-continue handler pickled a Ctrl-C into a mere
+        task error, leaving behind a worker that refused to die."""
+        from repro.core.operators import RunContext
+
+        # a real TCP pair: the worker loop sets TCP_NODELAY, which an
+        # AF_UNIX socketpair would reject
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        coordinator = socket.create_connection(listener.getsockname())
+        worker_side, _ = listener.accept()
+        listener.close()
+        server = WorkerServer(worker_id="t0", heartbeat_interval=60.0)
+        raised = {}
+
+        def _serve():
+            try:
+                server._serve_connection(worker_side)
+            except BaseException as exc:  # noqa: BLE001 - captured for assertion
+                raised["exc"] = exc
+
+        thread = threading.Thread(target=_serve, daemon=True)
+        thread.start()
+        try:
+            register = deserialize(recv_frame(coordinator))
+            assert register[0] == "register" and register[1] == "t0"
+            payload = serialize(("boom", InterruptOperator(), [], RunContext()))
+            send_frame(coordinator, serialize(("task", "s0", "boom", payload)))
+            frames = []
+            while True:
+                frame = recv_frame(coordinator)
+                if frame is None:
+                    break  # the dying worker loop closed its end
+                message = deserialize(frame)
+                if message[0] != "heartbeat":
+                    frames.append(message)
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+            # the failure was reported best-effort before the loop died...
+            assert [m[0] for m in frames] == ["ack", "error"], frames
+            _, session, key, _error = frames[1]
+            assert (session, key) == ("s0", "boom")
+            # ...and the interrupt still propagated out of the serve loop
+            assert isinstance(raised.get("exc"), KeyboardInterrupt)
+        finally:
+            coordinator.close()
+
     def test_slow_beating_remote_worker_widens_silence_threshold(self):
         """A worker announcing a slower heartbeat interval than the
         coordinator assumed must not be declared dead between healthy
@@ -961,3 +1022,368 @@ class TestReviewRegressions:
         finally:
             executor.shutdown()
             _reap([process])
+
+
+# ---------------------------------------------------------------------------
+# Re-dial backoff for address-configured workers
+# ---------------------------------------------------------------------------
+def _await_worker_count(executor, count, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while len(executor.worker_pids()) != count and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert len(executor.worker_pids()) == count
+
+
+class TestRedialBackoff:
+    def test_redial_backoff_validated(self):
+        with pytest.raises(ExecutionError, match="redial_backoff"):
+            DistributedExecutor(max_workers=1, redial_backoff=0.0)
+        assert DistributedExecutor(max_workers=1).redial_backoff == pytest.approx(0.25)
+
+    def test_recently_failed_address_not_reprobed_within_backoff(self):
+        """A dead address costs one failed dial, then is skipped until its
+        backoff expires — an auto-pooled lifecycle calling start() every
+        iteration must not pay a connect probe per iteration."""
+        processes, addresses = _start_listening_workers(2)
+        executor = DistributedExecutor(
+            workers=addresses, connect_timeout=0.5, redial_backoff=30.0
+        )
+        victim_address = parse_worker_address(addresses[1])
+        try:
+            executor.start()
+            processes[1].kill()
+            _await_worker_count(executor, 1)
+            with pytest.warns(RuntimeWarning, match="unreachable"):
+                executor.start()  # one failed dial arms the backoff
+            assert executor._remote_dial_failures[victim_address] == 1
+            executor.start()  # within the backoff window: skipped, no re-probe
+            assert executor._remote_dial_failures[victim_address] == 1
+        finally:
+            executor.shutdown()
+            _reap(processes)
+
+    def test_restarted_worker_is_reconnected_and_backoff_resets(self):
+        """A worker that restarts on its old port between iterations is
+        picked up by the next healing pass once the (short, configurable)
+        backoff expires, and its failure counter resets — the old hardcoded
+        5s floor made every rolling restart cost a long stall."""
+        processes, addresses = _start_listening_workers(2)
+        executor = DistributedExecutor(
+            workers=addresses, connect_timeout=0.5, redial_backoff=0.05
+        )
+        victim_address = parse_worker_address(addresses[1])
+        try:
+            executor.start()
+            processes[1].kill()
+            processes[1].join(timeout=2.0)
+            _await_worker_count(executor, 1)
+            # two healing passes while the worker is down: failures accumulate
+            # (exponential growth is over the *count*, reset on success below)
+            with pytest.warns(RuntimeWarning, match="unreachable"):
+                executor.start()
+            time.sleep(0.1)  # past the 0.05s first-failure backoff
+            with pytest.warns(RuntimeWarning, match="unreachable"):
+                executor.start()
+            assert executor._remote_dial_failures[victim_address] >= 2
+            # restart the worker on ITS OLD PORT, as a rolling restart would
+            ctx = multiprocessing.get_context()
+            port_queue = ctx.Queue()
+            replacement = ctx.Process(
+                target=_listen_worker_main,
+                args=(port_queue, None, 0.5, victim_address[1]),
+                daemon=True,
+            )
+            replacement.start()
+            processes.append(replacement)
+            assert port_queue.get(timeout=10) == victim_address[1]
+            time.sleep(0.3)  # let the armed backoff window expire
+            executor.start()  # healing dial succeeds: pool back to strength
+            assert victim_address not in executor._remote_dial_failures
+            assert len(executor.worker_pids()) == 2
+        finally:
+            executor.shutdown()
+            _reap(processes)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side fetch cache bounds
+# ---------------------------------------------------------------------------
+class TestFetchCacheBounds:
+    def test_byte_budget_evicts_least_recently_used(self):
+        cache = _FetchCache(max_entries=10, max_bytes=100)
+        cache.put("a", "A", 60)
+        cache.put("b", "B", 30)
+        assert (len(cache), cache.total_bytes) == (2, 90)
+        hit, value = cache.get("a")  # refresh a: b becomes the LRU entry
+        assert hit and value == "A"
+        cache.put("c", "C", 30)  # 120 bytes > 100: evict b, keep the fresh a
+        assert cache.get("b") == (False, None)
+        assert cache.get("a") == (True, "A")
+        assert cache.total_bytes == 90
+
+    def test_entry_cap_still_applies_to_small_artifacts(self):
+        cache = _FetchCache(max_entries=3, max_bytes=1 << 30)
+        for index in range(5):
+            cache.put(f"s{index}", index, 1)
+        assert len(cache) == 3
+        assert cache.get("s0") == (False, None)
+        assert cache.get("s4") == (True, 4)
+
+    def test_oversized_artifact_keeps_serving_its_task(self):
+        cache = _FetchCache(max_entries=4, max_bytes=100)
+        cache.put("huge", "H", 1000)  # above the whole budget: floor of one
+        assert cache.get("huge") == (True, "H")
+        assert (len(cache), cache.total_bytes) == (1, 1000)
+        cache.put("next", "N", 10)  # the oversized entry goes on the next insert
+        assert cache.get("huge") == (False, None)
+        assert (len(cache), cache.total_bytes) == (1, 10)
+
+    def test_replacing_a_signature_does_not_double_count_bytes(self):
+        cache = _FetchCache(max_entries=4, max_bytes=100)
+        cache.put("a", "A1", 40)
+        cache.put("a", "A2", 50)
+        assert (len(cache), cache.total_bytes) == (1, 50)
+        assert cache.get("a") == (True, "A2")
+
+
+# ---------------------------------------------------------------------------
+# Fetch timeout and reply framing, end to end
+# ---------------------------------------------------------------------------
+class TestFetchTimeoutAndReplyFraming:
+    def test_fetch_timeout_validated(self):
+        with pytest.raises(ExecutionError, match="fetch_timeout"):
+            DistributedExecutor(max_workers=1, fetch_timeout=0.0)
+        with pytest.raises(ExecutionError, match="fetch_timeout"):
+            WorkerServer(fetch_timeout=-1.0)
+
+    def test_unanswered_fetch_expires_typed_and_worker_survives(self, monkeypatch):
+        """A coordinator that never answers a fetch fails *that task* after
+        ``fetch_timeout`` with an error naming the node and the artifact;
+        the worker survives and serves the same ref once answers resume."""
+        from repro.core.operators import RunContext
+        from repro.exceptions import OperatorError
+        from repro.workloads.synthetic import LatencyOperator
+
+        dropping = {"on": True}
+        original = DistributedExecutor._answer_fetch
+
+        def muted(self, worker, session_id, signature):
+            if dropping["on"]:
+                return  # swallow the fetch: the coordinator never answers
+            return original(self, worker, session_id, signature)
+
+        monkeypatch.setattr(DistributedExecutor, "_answer_fetch", muted)
+        store = InMemoryStore()
+        store.put("parent", "sig-parent", 21.0)
+        executor = DistributedExecutor(
+            max_workers=1, fetch_inputs=True, fetch_timeout=0.4
+        )
+        executor.bind_store(store)
+        try:
+            executor.start()
+            executor.submit_payload(
+                "child",
+                serialize(
+                    ("child", LatencyOperator(offset=1.0), [ArtifactRef("sig-parent")], RunContext())
+                ),
+            )
+            key, _, error = executor.next_completion()
+            assert key == "child"
+            assert isinstance(error, OperatorError)
+            assert "child" in str(error)
+            assert "did not answer the fetch" in str(error)
+            assert "0.4s" in str(error)
+            # restore answers: the surviving worker resolves the same ref
+            dropping["on"] = False
+            executor.submit_payload(
+                "child2",
+                serialize(
+                    ("child2", LatencyOperator(offset=1.0), [ArtifactRef("sig-parent")], RunContext())
+                ),
+            )
+            key, outcome, error = executor.next_completion()
+            assert (key, error) == ("child2", None)
+            assert outcome[0] == pytest.approx(22.0)
+            assert len(executor.worker_pids()) == 1
+            executor.finish_run()
+        finally:
+            executor.shutdown()
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="the worker only inherits the monkeypatch under fork",
+    )
+    def test_engine_surfaces_unframeable_reply_and_worker_survives(self, monkeypatch):
+        """Engine-level: a result reply the worker cannot frame surfaces
+        from ``engine.execute`` as a typed error naming the node, and the
+        same worker then completes a follow-up run."""
+        import repro.execution.executors as executors_module
+        from repro.exceptions import OperatorError
+        from repro.workloads.synthetic import LatencyOperator
+
+        original = executors_module._send_message
+
+        def refusing(sock, message, lock=None):
+            if isinstance(message, tuple) and message[0] == "result" and message[2] == "big":
+                raise ProtocolError("frame payload exceeds the frame limit")
+            return original(sock, message, lock)
+
+        monkeypatch.setattr(executors_module, "_send_message", refusing)
+        executor = DistributedExecutor(max_workers=1)
+        executor.start()  # fork happens with the refusing transport in place
+        engine = _engine_for(executor)
+        try:
+            dag = WorkflowDAG([Node.create("big", LatencyOperator(offset=1.0), is_output=True)])
+            with pytest.raises(OperatorError, match="could not be framed") as excinfo:
+                engine.execute(dag, _all_compute_plan(dag), compute_node_signatures(dag))
+            assert "big" in str(excinfo.value)
+            assert len(executor.worker_pids()) == 1  # worker survived
+            good = WorkflowDAG([Node.create("ok", LatencyOperator(offset=2.0), is_output=True)])
+            stats = engine.execute(
+                good, _all_compute_plan(good), compute_node_signatures(good)
+            )
+            assert "ok" in stats.node_times  # the run completed on the survivor
+        finally:
+            executor.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Session multiplexing (protocol v3): concurrent runs on one shared fleet
+# ---------------------------------------------------------------------------
+class TestSessionMultiplexing:
+    def test_session_ids_and_closed_session_refuses_start(self):
+        fleet = DistributedExecutor(max_workers=1)
+        try:
+            first = fleet.session()
+            second = fleet.session()
+            assert first.session_id == "s1"
+            assert second.session_id == "s2"
+            assert first.fleet is fleet
+            first.start()
+            first.shutdown()
+            with pytest.raises(ExecutionError, match="closed"):
+                first.start()
+            first.shutdown()  # idempotent
+            second.shutdown()
+            assert len(fleet.worker_pids()) == 1  # sessions never reap workers
+        finally:
+            fleet.shutdown()
+
+    def test_concurrent_session_runs_match_inline(self):
+        """Two engines run full plans concurrently, each on its own session
+        of one shared 2-worker fleet, and each matches its inline reference."""
+        fleet = DistributedExecutor(max_workers=2)
+        dags = {
+            "random": make_random_dag(10, max_width=4, max_depth=4),
+            "wide": make_wide_dag(branches=5, depth=2, node_seconds=0.03),
+        }
+        references = {
+            label: _engine_for("inline").execute(
+                dag, _all_compute_plan(dag), compute_node_signatures(dag)
+            )
+            for label, dag in dags.items()
+        }
+        results, errors = {}, {}
+
+        def _run(label, dag):
+            session = fleet.session()
+            try:
+                results[label] = _engine_for(session).execute(
+                    dag, _all_compute_plan(dag), compute_node_signatures(dag)
+                )
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors[label] = exc
+            finally:
+                session.shutdown(cancel=True)
+
+        threads = [
+            threading.Thread(target=_run, args=item) for item in dags.items()
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors, errors
+            for label in dags:
+                assert_equivalent_runs(
+                    references[label], results[label], include_times=False
+                )
+            assert len(fleet.worker_pids()) == 2  # one fleet served both runs
+        finally:
+            fleet.shutdown()
+
+    def test_fetches_answered_from_each_sessions_own_store(self):
+        """Two sessions ship the *same* artifact signature backed by
+        different bound stores; each fetch must resolve from the store of
+        the session that shipped the ref (and the worker's per-session
+        cache must not leak the first session's value into the second)."""
+        from repro.core.operators import RunContext
+        from repro.workloads.synthetic import LatencyOperator
+
+        fleet = DistributedExecutor(max_workers=1, fetch_inputs=True)
+        try:
+            sessions = []
+            for value in (10.0, 20.0):
+                session = fleet.session()
+                store = InMemoryStore()
+                store.put("parent", "sig-shared", value)
+                session.bind_store(store)
+                session.start()
+                sessions.append((value, session))
+            for value, session in sessions:  # A fully first, then B
+                session.submit_payload(
+                    "child",
+                    serialize(
+                        ("child", LatencyOperator(offset=1.0), [ArtifactRef("sig-shared")], RunContext())
+                    ),
+                )
+                key, outcome, error = session.next_completion()
+                assert (key, error) == ("child", None)
+                assert outcome[0] == pytest.approx(value + 1.0)
+                session.finish_run()
+            for _, session in sessions:
+                session.shutdown()
+        finally:
+            fleet.shutdown()
+
+    def test_one_sessions_backlog_does_not_starve_another(self):
+        """Round-robin dispatch across sessions: a single-task session
+        completes while a backlogged session still has queued work, instead
+        of waiting behind the whole backlog."""
+        from repro.core.operators import RunContext
+        from repro.workloads.synthetic import LatencyOperator
+
+        fleet = DistributedExecutor(max_workers=1, pipeline_depth=1)
+        order = []
+        try:
+            busy = fleet.session()
+            light = fleet.session()
+            busy.start()
+            light.start()
+            slow = LatencyOperator(offset=1.0, sleep_seconds=0.15)
+            for index in range(4):
+                busy.submit_payload(
+                    f"a{index}", serialize((f"a{index}", slow, [], RunContext()))
+                )
+            light.submit_payload(
+                "b0", serialize(("b0", LatencyOperator(offset=2.0), [], RunContext()))
+            )
+
+            def _collect(session, count):
+                for _ in range(count):
+                    key, _, error = session.next_completion()
+                    assert error is None
+                    order.append(key)
+
+            busy_thread = threading.Thread(target=_collect, args=(busy, 4))
+            light_thread = threading.Thread(target=_collect, args=(light, 1))
+            busy_thread.start()
+            light_thread.start()
+            busy_thread.join(timeout=30)
+            light_thread.join(timeout=30)
+            busy.shutdown()
+            light.shutdown()
+            assert order.index("b0") < order.index("a3"), order
+        finally:
+            fleet.shutdown()

@@ -1,0 +1,204 @@
+"""Helix-as-a-service: the ``repro serve`` daemon and ``repro submit`` client.
+
+Pins down the serving layer built on protocol v3 session multiplexing:
+
+* **Equivalence** — two runs submitted concurrently to one daemon execute
+  on a shared 2-worker fleet at the same time (``peak_active == 2``) and
+  each produces stats identical (modulo timing/memory) to an inline run of
+  the same spec, checked through the equivalence-harness payloads.
+* **Scheduling** — admission is FIFO; ``max_concurrent_runs`` bounds how
+  many runs execute at once, and queued submissions report their position.
+* **Admission** — malformed specs (unknown workload, bad policy, wrong
+  frame) are refused with a typed message at submit time, client- and
+  daemon-side, without disturbing the fleet.
+* **CLI** — ``repro submit --verify-inline --json`` round-trips against an
+  in-process daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.exceptions import ExecutionError
+from repro.execution.executors import _recv_message, _send_message
+from repro.service import (
+    ServeDaemon,
+    ServiceClient,
+    assert_payloads_equivalent,
+    inline_reference,
+    submit_run,
+    validate_spec,
+)
+from repro.service.cli import submit_main
+
+CENSUS_SPEC = {
+    "workload": "census",
+    "iterations": 2,
+    "scale": 0.25,
+    "seed": 7,
+    "policy": "opt",
+    "cost_model": "simulated",
+}
+
+
+# ---------------------------------------------------------------------------
+# Spec validation (admission-time refusal)
+# ---------------------------------------------------------------------------
+class TestSpecValidation:
+    def test_normalizes_and_fills_defaults(self):
+        spec = validate_spec({"workload": "census"})
+        assert spec == {
+            "workload": "census",
+            "iterations": 0,
+            "scale": 1.0,
+            "seed": 7,
+            "policy": "opt",
+            "cost_model": "simulated",
+        }
+
+    @pytest.mark.parametrize(
+        ("bad", "match"),
+        [
+            ("not-a-dict", "must be a dict"),
+            ({}, "workload name"),
+            ({"workload": 7}, "workload name"),
+            ({"workload": "nope"}, "unknown workload"),
+            ({"workload": "census", "typo": 1}, "unknown field"),
+            ({"workload": "census", "iterations": "many"}, "non-numeric"),
+            ({"workload": "census", "iterations": -1}, "iterations"),
+            ({"workload": "census", "scale": 0}, "scale"),
+            ({"workload": "census", "policy": "maybe"}, "unknown policy"),
+            ({"workload": "census", "cost_model": "guess"}, "unknown cost_model"),
+        ],
+    )
+    def test_malformed_specs_fail_typed(self, bad, match):
+        with pytest.raises(ExecutionError, match=match):
+            validate_spec(bad)
+
+
+# ---------------------------------------------------------------------------
+# Serving runs on a shared fleet
+# ---------------------------------------------------------------------------
+class TestServeDaemon:
+    def test_concurrent_runs_share_the_fleet_and_match_inline(self):
+        """The acceptance criterion: two concurrent submissions execute on
+        one 2-worker fleet simultaneously and each matches its inline
+        reference through the equivalence payloads."""
+        spec_a = dict(CENSUS_SPEC)
+        spec_b = dict(CENSUS_SPEC, seed=11)
+        with ServeDaemon(max_workers=2, max_concurrent_runs=2) as daemon:
+            client = ServiceClient(daemon.address)
+            handle_a = client.submit(spec_a)
+            handle_b = client.submit(spec_b)
+            progress = []
+            payload_a = handle_a.result(
+                on_event=lambda kind, info: progress.append(info["iteration"])
+            )
+            payload_b = handle_b.result()
+            stats = daemon.stats()
+            assert len(daemon.worker_pids()) == 2  # one fleet served both
+        assert stats["peak_active"] == 2  # the runs truly overlapped
+        assert sorted(stats["completed"]) == ["run-1", "run-2"]
+        assert stats["failed"] == []
+        assert progress == [0, 1]  # streamed per-iteration progress
+        assert_payloads_equivalent(payload_a, inline_reference(spec_a))
+        assert_payloads_equivalent(payload_b, inline_reference(spec_b))
+        # different seeds are genuinely different runs — the harness agrees
+        with pytest.raises(AssertionError):
+            assert_payloads_equivalent(payload_a, payload_b)
+
+    def test_admission_is_fifo_and_concurrency_is_bounded(self):
+        spec = dict(CENSUS_SPEC, iterations=1)
+        with ServeDaemon(max_workers=1, max_concurrent_runs=1) as daemon:
+            client = ServiceClient(daemon.address)
+            handles = [client.submit(dict(spec, seed=seed)) for seed in (1, 2, 3)]
+            # the daemon reported each submission's queue position at admission
+            assert [h.queue_position for h in handles] == [0, 1, 2]
+            for handle in handles:
+                handle.result()
+            stats = daemon.stats()
+        assert stats["peak_active"] == 1  # never more than the knob allows
+        assert stats["completed"] == ["run-1", "run-2", "run-3"]  # FIFO
+
+    def test_failed_run_reports_typed_and_daemon_survives(self):
+        """A run that fails mid-execution reports ('failed', ...) to its
+        submitter; the daemon and fleet keep serving later submissions."""
+        with ServeDaemon(max_workers=1, max_concurrent_runs=1) as daemon:
+            client = ServiceClient(daemon.address)
+            # scale small enough that the census workload cannot stratify
+            # is hard to provoke; instead fail validation server-side by
+            # bypassing the client's local validate with a raw frame
+            sock = socket.create_connection(daemon.address, timeout=5)
+            try:
+                _send_message(sock, ("submit", {"workload": "nope"}))
+                reply = _recv_message(sock)
+            finally:
+                sock.close()
+            assert reply[0] == "failed"
+            assert "unknown workload" in reply[2]
+            # the fleet is untouched: a good run still completes
+            payload = client.submit(dict(CENSUS_SPEC, iterations=1)).result()
+            assert payload["summary"]["iterations"] == 1
+
+    def test_non_submit_frame_is_refused(self):
+        with ServeDaemon(max_workers=1) as daemon:
+            sock = socket.create_connection(daemon.address, timeout=5)
+            try:
+                _send_message(sock, ("heartbeat", "w0"))
+                reply = _recv_message(sock)
+            finally:
+                sock.close()
+        assert reply[0] == "failed"
+        assert "submit" in reply[2]
+
+    def test_client_rejects_bad_spec_without_connecting(self):
+        client = ServiceClient(("127.0.0.1", 1))  # nothing listens there
+        with pytest.raises(ExecutionError, match="unknown workload"):
+            client.submit({"workload": "nope"})
+
+    def test_max_concurrent_runs_validated(self):
+        with pytest.raises(ExecutionError, match="max_concurrent_runs"):
+            ServeDaemon(max_workers=1, max_concurrent_runs=0)
+
+    def test_submit_run_convenience(self):
+        with ServeDaemon(max_workers=1) as daemon:
+            events = []
+            payload = submit_run(
+                daemon.address,
+                dict(CENSUS_SPEC, iterations=1),
+                on_event=lambda kind, info: events.append(kind),
+            )
+        assert payload["summary"]["workload"] == "census"
+        assert events == ["progress"]
+
+
+# ---------------------------------------------------------------------------
+# Command line
+# ---------------------------------------------------------------------------
+class TestSubmitCli:
+    def test_submit_verify_inline_and_json(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        with ServeDaemon(max_workers=2) as daemon:
+            host, port = daemon.address
+            rc = submit_main(
+                [
+                    "--address", f"{host}:{port}",
+                    "--workload", "census",
+                    "--iterations", "2",
+                    "--scale", "0.25",
+                    "--verify-inline",
+                    "--json", str(out),
+                ]
+            )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "submitted run-1" in printed
+        assert "equivalent to the inline reference" in printed
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["system"] == "helix-opt"
+        assert payload["summary"]["iterations"] == 2
+        assert len(payload["iterations"]) == 2
+        assert payload["iteration_types"] == ["DPR", "PPR"]
