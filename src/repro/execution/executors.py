@@ -807,9 +807,10 @@ class WorkerServer:
 
         Bookkeeping is kept per run session: each session gets its own task
         lane (drained round-robin across sessions), its own pending fetch
-        slots, and its own byte-bounded fetched-value cache.  Registration
-        and heartbeats stay per-connection — liveness is a property of the
-        transport, not of any one session.
+        slots, and its own byte-bounded fetched-value cache — all of it
+        released when the coordinator sends the session's ``close_session``
+        frame.  Registration and heartbeats stay per-connection — liveness
+        is a property of the transport, not of any one session.
         """
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         send_lock = threading.Lock()
@@ -821,6 +822,12 @@ class WorkerServer:
         lanes: "OrderedDict[Any, Deque[Tuple[str, bytes]]]" = OrderedDict()
         fetch_lock = threading.Lock()
         fetch_slots: Dict[Tuple[Any, str], _FetchSlot] = {}
+        # Per-session fetched-value caches.  Dropped on the coordinator's
+        # ``close_session`` frame: under a long-lived fleet (``repro
+        # serve``) one connection outlives thousands of sessions, and
+        # without eviction every finished run would permanently retain its
+        # cache of deserialized artifacts in this worker.
+        caches: Dict[Any, _FetchCache] = {}
         # Registration announces the worker's own heartbeat interval so a
         # coordinator whose heartbeat_timeout was derived from a *different*
         # interval can widen its silence threshold for this worker instead
@@ -868,6 +875,20 @@ class WorkerServer:
                         slot.blob = blob
                         slot.served = True
                         slot.event.set()
+                elif kind == "close_session":
+                    # The coordinator drained the session and dropped it:
+                    # release its lane, cache and pending fetch slots so a
+                    # long-lived connection does not accumulate one set of
+                    # each per finished run.
+                    _, session = message
+                    with wake:
+                        lanes.pop(session, None)
+                    caches.pop(session, None)
+                    with fetch_lock:
+                        stale = [k for k in fetch_slots if k[0] == session]
+                        closed = [fetch_slots.pop(k) for k in stale]
+                    for slot in closed:
+                        slot.event.set()  # served stays False -> fetch fails typed
             stop.set()
             with wake:
                 wake.notify_all()  # unblock the executor loop
@@ -884,8 +905,6 @@ class WorkerServer:
             target=_reader, daemon=True, name=f"repro-dist-read-{self.worker_id}"
         )
         reader.start()
-
-        caches: Dict[Any, _FetchCache] = {}
 
         def _next_task() -> Optional[Tuple[Any, str, bytes]]:
             """Pop the next task, rotating fairly across session lanes."""
@@ -1521,7 +1540,24 @@ class DistributedExecutor(_OutOfProcessExecutor):
         with self._cond:
             state.open = False
             self._sessions.pop(state.session_id, None)
+            handles = [
+                h for h in self._workers.values()
+                if h.alive and h.sock is not None
+            ]
             self._cond.notify_all()
+        # Tell every worker to drop the session's lane, fetched-value cache
+        # and pending fetch slots.  Without this frame a long-lived fleet
+        # (the ``repro serve`` daemon) leaks one cache of deserialized
+        # artifacts per finished run into every worker, since the
+        # connection — and with it the worker's per-session bookkeeping —
+        # outlives the sessions multiplexed onto it.
+        for handle in handles:
+            try:
+                _send_message(
+                    handle.sock, ("close_session", state.session_id), handle.send_lock
+                )
+            except OSError:
+                pass  # worker vanished; its connection state dies with it
 
     # ------------------------------------------------------------------ introspection
     def worker_pids(self) -> Dict[str, int]:
@@ -2175,7 +2211,10 @@ class DistributedSession(Executor):
     def submit(self, key: str, fn: Callable[[], Any]) -> None:
         """Run an in-process task (store LOAD) on the fleet's I/O pool."""
         pool = self._fleet._io_pool
-        assert pool is not None, "session used before start()"
+        if pool is None:
+            # Typed like the submit_payload path — and unlike an assert,
+            # still raised under ``python -O``.
+            raise ExecutionError("session used before start()")
         self._track(key, pool.submit(fn), self._deliver_future)
 
     def submit_payload(self, key: str, payload: bytes) -> None:

@@ -262,6 +262,11 @@ class ServeDaemon:
         self._queue: "queue.Queue[Optional[_RunRecord]]" = queue.Queue()
         self._run_seq = itertools.count(1)
         self._stopping = threading.Event()
+        #: Serializes admission against stop(): an admission holds it from
+        #: the stop check through the queue put, and stop() holds it for
+        #: the final queue drain, so a submission racing with shutdown is
+        #: either refused or drained — never stranded unanswered.
+        self._admit_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._queued = 0
         self._active = 0
@@ -311,7 +316,16 @@ class ServeDaemon:
         return self._listener.getsockname()[:2]
 
     def stop(self) -> None:
-        """Refuse new submissions, fail queued ones, drain and stop the fleet."""
+        """Refuse new submissions, fail queued ones, drain and stop the fleet.
+
+        Active runs are allowed to finish; anything still *queued* when the
+        stop flag goes up is failed without running — the runner loops fail
+        (rather than execute) every record they dequeue after the flag, so
+        stop never waits behind a backlog, only behind the runs already
+        executing.  The final drain below catches records no runner ever
+        dequeued (all runners may exit on their sentinels first) and, held
+        under the admission lock, any submission that raced with the flag.
+        """
         if not self._started:
             return
         self._stopping.set()
@@ -324,16 +338,27 @@ class ServeDaemon:
             thread.join(timeout=30.0)
         self._threads = []
         # Anything still queued never got a runner: tell its submitter.
-        while True:
-            try:
-                record = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            if record is not None:
-                record.send(("failed", record.run_id, "daemon stopped before the run started"))
-                record.close()
+        # Admissions serialize against this drain via the lock, so a record
+        # queued concurrently with stop() is either refused at admission or
+        # sitting in the queue here — never stranded unanswered.
+        with self._admit_lock:
+            while True:
+                try:
+                    record = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if record is not None:
+                    self._fail_unrun(record)
         self._fleet.shutdown()
         self._started = False
+
+    def _fail_unrun(self, record: _RunRecord) -> None:
+        """Fail a queued-but-never-started record, keeping stats consistent."""
+        with self._stats_lock:
+            self._queued -= 1
+            self._failed.append(record.run_id)
+        record.send(("failed", record.run_id, "daemon stopped before the run started"))
+        record.close()
 
     def __enter__(self) -> "ServeDaemon":
         self.start()
@@ -402,19 +427,39 @@ class ServeDaemon:
             conn.close()
             return
         record = _RunRecord(f"run-{next(self._run_seq)}", spec, conn)
-        with self._stats_lock:
-            # Admitted-but-unfinished runs ahead of this one: both the
-            # queued ones and those a runner already picked up.
-            position = self._queued + self._active
-            self._queued += 1
-        record.send(("accepted", record.run_id, position))
-        self._queue.put(record)
+        # Check-and-queue under the admission lock: once stop() has drained
+        # the queue (holding this lock), no record can slip in behind the
+        # drain and leave its client blocked on a terminal frame that never
+        # comes.  The "accepted" frame is tiny and the socket fresh, so
+        # sending it under the lock cannot stall stop() behind a slow peer.
+        with self._admit_lock:
+            if self._stopping.is_set():
+                refused = True
+            else:
+                refused = False
+                with self._stats_lock:
+                    # Admitted-but-unfinished runs ahead of this one: both the
+                    # queued ones and those a runner already picked up.
+                    position = self._queued + self._active
+                    self._queued += 1
+                record.send(("accepted", record.run_id, position))
+                self._queue.put(record)
+        if refused:
+            record.send(("failed", "", "daemon is stopping"))
+            record.close()
 
     def _runner_loop(self) -> None:
         while True:
             record = self._queue.get()
             if record is None:
                 return
+            if self._stopping.is_set():
+                # stop() was called while this record sat in the queue: fail
+                # it without running (admission order puts the sentinels
+                # behind it, so executing here would make stop() wait out —
+                # and then cancel mid-run — an entire queued backlog).
+                self._fail_unrun(record)
+                continue
             with self._stats_lock:
                 self._queued -= 1
                 self._active += 1

@@ -42,7 +42,11 @@ Protocol version history
   ``("ack", worker_id, session, key)``, ``("result", session, key,
   reply)``, ``("error", session, key, exc)``, ``("fetch", worker_id,
   session, signature)`` and ``("artifact", session, signature,
-  payload_bytes | None)``; registration, heartbeat and shutdown are
+  payload_bytes | None)``; a drained session is retired with
+  ``("close_session", session)``, on which the worker releases that
+  session's task lane, fetched-value cache and pending fetch slots (a
+  long-lived connection outlives many sessions, so per-session state must
+  die with its session).  Registration, heartbeat and shutdown are
   unchanged (they are connection-level, not session-level).
 """
 

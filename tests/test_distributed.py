@@ -1002,6 +1002,118 @@ class TestReviewRegressions:
         finally:
             coordinator.close()
 
+    def test_close_session_drops_worker_session_state(self):
+        """A ``close_session`` frame must release the session's worker-side
+        bookkeeping (lane, fetched-value cache, pending fetch slots): under
+        a long-lived fleet (``repro serve``) one connection outlives every
+        run session multiplexed onto it, and retained caches grow worker
+        memory without bound.  Observable on the wire: a re-fetch after the
+        close issues a fresh ``fetch`` frame instead of hitting the cache."""
+        from repro.core.operators import RunContext
+        from repro.workloads.synthetic import LatencyOperator
+
+        # a real TCP pair: the worker loop sets TCP_NODELAY, which an
+        # AF_UNIX socketpair would reject
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        coordinator = socket.create_connection(listener.getsockname())
+        worker_side, _ = listener.accept()
+        listener.close()
+        server = WorkerServer(
+            worker_id="t1", heartbeat_interval=60.0, fetch_timeout=5.0
+        )
+        thread = threading.Thread(
+            target=lambda: server._serve_connection(worker_side), daemon=True
+        )
+        thread.start()
+
+        def _next_message():
+            frame = recv_frame(coordinator)
+            assert frame is not None, "worker closed the connection early"
+            message = deserialize(frame)
+            assert message[0] != "heartbeat"  # 60s interval: none expected
+            return message
+
+        def _send_task(key):
+            payload = serialize(
+                (key, LatencyOperator(offset=1.0), [ArtifactRef("sigA")], RunContext())
+            )
+            send_frame(coordinator, serialize(("task", "s1", key, payload)))
+
+        def _serve_fetch():
+            fetch = _next_message()
+            assert fetch[:1] + fetch[2:] == ("fetch", "s1", "sigA"), fetch
+            send_frame(
+                coordinator, serialize(("artifact", "s1", "sigA", serialize(21.0)))
+            )
+
+        try:
+            assert _next_message()[0] == "register"
+            # first task populates the session cache via a fetch round trip
+            _send_task("k1")
+            assert _next_message()[0] == "ack"
+            _serve_fetch()
+            assert _next_message()[0] == "result"
+            # second task is served from the cache: no fetch frame appears
+            _send_task("k2")
+            assert _next_message()[0] == "ack"
+            assert _next_message()[0] == "result"
+            # after close_session the cache is gone: the fetch comes back
+            send_frame(coordinator, serialize(("close_session", "s1")))
+            _send_task("k3")
+            assert _next_message()[0] == "ack"
+            _serve_fetch()
+            assert _next_message()[0] == "result"
+            send_frame(coordinator, serialize(("shutdown",)))
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+        finally:
+            coordinator.close()
+
+    def test_closing_a_session_notifies_connected_workers(self):
+        """``DistributedSession.shutdown`` must broadcast the session's
+        ``close_session`` frame to every connected worker — the coordinator
+        half of the worker-side state release above."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()[:2]
+        worker_sock = {}
+
+        def _fake_worker():
+            conn, _ = listener.accept()
+            # announce a slow heartbeat so silence never kills this worker
+            send_frame(conn, serialize(("register", "fake", 4242, 60.0)))
+            worker_sock["conn"] = conn
+
+        acceptor = threading.Thread(target=_fake_worker, daemon=True)
+        acceptor.start()
+        executor = DistributedExecutor(workers=[f"{host}:{port}"])
+        try:
+            executor.start()
+            acceptor.join(timeout=5)
+            session = executor.session()
+            session.start()
+            session_id = session.session_id
+            session.shutdown()
+            worker_sock["conn"].settimeout(10.0)  # fail, don't hang, if absent
+            message = deserialize(recv_frame(worker_sock["conn"]))
+            assert message == ("close_session", session_id)
+        finally:
+            executor.shutdown()
+            listener.close()
+            if "conn" in worker_sock:
+                worker_sock["conn"].close()
+
+    def test_session_submit_before_start_raises_typed(self):
+        """LOAD submission on an unstarted session raises the executor
+        contract's typed error — not a stripped-under-``python -O`` assert."""
+        fleet = DistributedExecutor(max_workers=1)
+        session = fleet.session()
+        with pytest.raises(ExecutionError, match="before start"):
+            session.submit("k", lambda: 1)
+
     def test_slow_beating_remote_worker_widens_silence_threshold(self):
         """A worker announcing a slower heartbeat interval than the
         coordinator assumed must not be declared dead between healthy

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import json
 import socket
+import threading
+import time
 
 import pytest
 
@@ -173,6 +175,88 @@ class TestServeDaemon:
             )
         assert payload["summary"]["workload"] == "census"
         assert events == ["progress"]
+
+
+# ---------------------------------------------------------------------------
+# Shutdown semantics (review-fix regressions)
+# ---------------------------------------------------------------------------
+class _GatedDaemon(ServeDaemon):
+    """A daemon whose runs block on a gate, so a test can pin one 'active'
+    while others sit queued — without racing against real run durations."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.gate = threading.Event()
+        self.executed = []
+
+    def _execute(self, record):
+        self.executed.append(record.run_id)
+        if not self.gate.wait(timeout=20):
+            raise ExecutionError("test gate never opened")
+        return {"ok": record.run_id}
+
+
+class TestStopSemantics:
+    def test_stop_fails_queued_runs_without_executing_them(self):
+        """stop() lets the active run finish but fails the queued backlog
+        without running it — and the stats stay consistent: failed runs are
+        counted, nothing stays 'queued' forever."""
+        daemon = _GatedDaemon(max_workers=1, max_concurrent_runs=1)
+        daemon.start()
+        try:
+            client = ServiceClient(daemon.address)
+            handle_a = client.submit(dict(CENSUS_SPEC, iterations=1))
+            handle_b = client.submit(dict(CENSUS_SPEC, iterations=1, seed=11))
+            deadline = time.monotonic() + 10
+            while not daemon.executed and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert daemon.executed == ["run-1"]  # run-2 queued behind it
+
+            stopper = threading.Thread(target=daemon.stop)
+            stopper.start()
+            while not daemon._stopping.is_set():
+                time.sleep(0.01)
+            daemon.gate.set()  # now let the active run finish
+            stopper.join(timeout=30)
+            assert not stopper.is_alive()
+
+            assert handle_a.result() == {"ok": "run-1"}
+            with pytest.raises(ExecutionError, match="before the run started"):
+                handle_b.result()
+            assert daemon.executed == ["run-1"]  # run-2 never executed
+            stats = daemon.stats()
+            assert stats["queued"] == 0 and stats["active"] == 0
+            assert stats["completed"] == ["run-1"]
+            assert stats["failed"] == ["run-2"]
+        finally:
+            daemon.gate.set()
+            daemon.stop()
+
+    def test_submission_racing_with_stop_is_refused(self):
+        """An admission that catches the daemon mid-stop gets a terminal
+        'failed' frame instead of being queued behind the final drain and
+        leaving its client blocked forever."""
+        daemon = ServeDaemon(max_workers=1)
+        daemon._stopping.set()  # mid-stop, admission-side view
+        # a real TCP pair: admission sets TCP_NODELAY, which an AF_UNIX
+        # socketpair would reject
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        client_sock = socket.create_connection(listener.getsockname())
+        server_side, _ = listener.accept()
+        listener.close()
+        try:
+            _send_message(client_sock, ("submit", dict(CENSUS_SPEC)))
+            daemon._handle_submission(server_side)
+            client_sock.settimeout(5.0)
+            reply = _recv_message(client_sock)
+            assert reply[0] == "failed"
+            assert "stopping" in reply[2]
+            assert daemon._queue.empty()  # nothing stranded for a drain
+            assert daemon.stats()["queued"] == 0
+        finally:
+            client_sock.close()
 
 
 # ---------------------------------------------------------------------------
