@@ -36,48 +36,85 @@ _EVENT_TYPES = ("accepted", "progress", "done", "failed")
 
 
 class RunHandle:
-    """One submitted run: its id, queue position, event stream and result.
+    """One submitted run: its id, admission info, event stream and result.
 
     Obtained from :meth:`ServiceClient.submit`.  The handle owns the
     submission's connection; iterate :meth:`events` (or just call
     :meth:`result`, which drains them for you) to follow the run to its
-    terminal frame.
+    terminal frame.  Usable as a context manager — leaving the ``with``
+    block closes the connection even if the event stream was abandoned
+    mid-run.
     """
 
-    def __init__(self, sock: socket.socket, run_id: str, position: int):
+    def __init__(self, sock: socket.socket, run_id: str, admission: Dict[str, Any]):
         self._sock: Optional[socket.socket] = sock
         self.run_id = run_id
-        #: Number of submissions queued ahead of this one at admission time.
-        self.queue_position = position
+        #: The daemon's admission report, verbatim (tenant, priority,
+        #: scheduler, queued/active split, policy position).
+        self.admission = admission
+        #: Tenant and effective priority the daemon admitted the run under.
+        self.tenant: str = admission.get("tenant", "default")
+        self.priority: int = int(admission.get("priority", 0))
+        #: The daemon's scheduler policy name (``"fifo"`` / ``"fair"``).
+        self.scheduler: str = admission.get("scheduler", "fifo")
+        #: Submissions sitting in the admission queue at admission time.
+        self.queued_ahead: int = int(admission.get("queued", 0))
+        #: Runs already executing at admission time.
+        self.active_at_admission: int = int(admission.get("active", 0))
+        #: Queued runs the scheduler guarantees to start before this one
+        #: (an estimate under the fair policy; equals ``queued_ahead``
+        #: under fifo modulo a concurrent dequeue).
+        self.position: int = int(admission.get("position", self.queued_ahead))
         self._payload: Optional[Dict[str, Any]] = None
         self._error: Optional[str] = None
         self._done = False
+
+    @property
+    def queue_position(self) -> int:
+        """Admitted-but-unfinished runs ahead at admission time.
+
+        Both the runs still queued *and* those already executing — the
+        run starts after (at most) this many admitted runs finish.  See
+        :attr:`queued_ahead` / :attr:`active_at_admission` for the split
+        and :attr:`position` for the scheduler-policy view.
+        """
+        return self.queued_ahead + self.active_at_admission
 
     def events(self):
         """Yield ``("progress", info)`` events until the terminal frame.
 
         The terminal frame itself is not yielded; it is captured so
         :meth:`result` can return the payload (or raise).  The connection
-        is closed once the stream ends.
+        is closed once the stream ends — including when the caller breaks
+        out (or the generator is otherwise closed) mid-stream, in which
+        case the run keeps executing on the daemon but this handle's
+        socket is released immediately rather than at GC time.
         """
-        while not self._done:
-            try:
-                message = _recv_message(self._sock)
-            except (OSError, ProtocolError) as exc:
-                self._finish(error=f"connection to the service lost: {exc}")
-                return
-            if message is None:
-                self._finish(error="service closed the connection before the run finished")
-                return
-            kind = message[0]
-            if kind == "progress":
-                yield ("progress", message[2])
-            elif kind == "done":
-                self._finish(payload=message[2])
-            elif kind == "failed":
-                self._finish(error=str(message[2]))
-            else:  # pragma: no cover - daemon never sends anything else
-                self._finish(error=f"unexpected frame from the service: {message[0]!r}")
+        try:
+            while not self._done:
+                if self._sock is None:
+                    self._finish(error="event stream abandoned before the run finished")
+                    return
+                try:
+                    message = _recv_message(self._sock)
+                except (OSError, ProtocolError) as exc:
+                    self._finish(error=f"connection to the service lost: {exc}")
+                    return
+                if message is None:
+                    self._finish(error="service closed the connection before the run finished")
+                    return
+                kind = message[0]
+                if kind == "progress":
+                    yield ("progress", message[2])
+                elif kind == "done":
+                    self._finish(payload=message[2])
+                elif kind == "failed":
+                    self._finish(error=str(message[2]))
+                else:  # pragma: no cover - daemon never sends anything else
+                    self._finish(error=f"unexpected frame from the service: {message[0]!r}")
+        finally:
+            if not self._done:
+                self.close()  # abandoned mid-stream: release the socket now
 
     def result(self, on_event: Optional[Callable[[str, Any], None]] = None) -> Dict[str, Any]:
         """Block until the run finishes and return its payload.
@@ -109,6 +146,12 @@ class RunHandle:
             except OSError:
                 pass
             self._sock = None
+
+    def __enter__(self) -> "RunHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class ServiceClient:
@@ -147,17 +190,49 @@ class ServiceClient:
         except BaseException:
             sock.close()
             raise
-        if reply is None:
+        try:
+            run_id, admission = self._parse_admission(reply)
+        except ExecutionError:
             sock.close()
-            raise ExecutionError("service closed the connection during admission")
-        if reply[0] == "failed":
-            sock.close()
-            raise ExecutionError(f"service rejected the submission: {reply[2]}")
-        if reply[0] != "accepted":
-            sock.close()
-            raise ExecutionError(f"unexpected admission reply: {reply[0]!r}")
+            raise
         sock.settimeout(None)  # the run itself may take arbitrarily long
-        return RunHandle(sock, run_id=reply[1], position=reply[2])
+        return RunHandle(sock, run_id=run_id, admission=admission)
+
+    @staticmethod
+    def _parse_admission(reply: Any) -> Tuple[str, Dict[str, Any]]:
+        """Validate the admission frame's shape before indexing into it.
+
+        A malformed or truncated tuple raises the same typed
+        :class:`ExecutionError` every other protocol failure gets, never a
+        bare ``IndexError``/``TypeError``.
+        """
+        if reply is None:
+            raise ExecutionError("service closed the connection during admission")
+        if not isinstance(reply, tuple) or not reply:
+            raise ExecutionError(
+                f"malformed admission reply from the service: {reply!r}"
+            )
+        if reply[0] == "failed":
+            if len(reply) != 3:
+                raise ExecutionError(
+                    f"malformed admission reply from the service: {reply!r}"
+                )
+            raise ExecutionError(f"service rejected the submission: {reply[2]}")
+        if reply[0] != "accepted" or len(reply) != 3 or not isinstance(reply[1], str):
+            raise ExecutionError(f"unexpected admission reply: {reply!r}")
+        admission = reply[2]
+        try:
+            if isinstance(admission, dict):
+                for key in ("queued", "active", "position", "priority"):
+                    if key in admission:
+                        admission[key] = int(admission[key])
+                return reply[1], admission
+            # Pre-scheduler daemons reported a single queued+active count.
+            return reply[1], {"queued": int(admission), "active": 0}
+        except (TypeError, ValueError):
+            raise ExecutionError(
+                f"malformed admission reply from the service: {reply!r}"
+            ) from None
 
 
 def submit_run(

@@ -1,0 +1,355 @@
+"""Admission schedulers for the ``repro serve`` daemon.
+
+The daemon's runner threads do not drain a plain FIFO queue any more —
+they drain a :class:`SchedulerPolicy`, which decides *which* admitted
+run a freed runner picks up next:
+
+:class:`FifoScheduler` (``"fifo"``, the default)
+    Arrival order, exactly the pre-scheduler behavior.  ``tenant`` and
+    ``priority`` are carried but ignored.
+:class:`FairScheduler` (``"fair"``)
+    Per-tenant weighted fair sharing with strict priority classes.
+    Runs queue per ``(tenant, priority)``; a freed runner serves the
+    highest priority class with queued work (so a higher-priority
+    submission jumps the whole line), and within that class tenants are
+    interleaved by deficit/weighted round-robin — a tenant of weight
+    *w* gets *w* consecutive turns per rotation, so a burst from one
+    tenant cannot starve the others behind it.
+
+Both policies support cancellation of *queued* (never running) work —
+the daemon removes a record whose submitter closed its connection — and
+a ``close()`` that wakes every blocked runner for shutdown.  All methods
+are thread-safe; the daemon calls them from the admission, runner and
+watcher threads concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from ..exceptions import ExecutionError
+
+__all__ = [
+    "SchedulerPolicy",
+    "FifoScheduler",
+    "FairScheduler",
+    "SCHEDULERS",
+    "make_scheduler",
+]
+
+
+class SchedulerPolicy:
+    """Thread-safe admission queue with a pluggable dequeue order.
+
+    Records need two attributes the policy may consult: ``tenant`` (a
+    string) and ``priority`` (an int, larger = more urgent).  Subclasses
+    implement the unlocked hooks ``_put`` / ``_pop`` / ``_remove`` /
+    ``_size`` / ``_guaranteed_ahead``; this base class provides the
+    locking, blocking :meth:`get`, and shutdown wake-up.
+    """
+
+    #: Policy name as selected by ``--scheduler``; subclasses override.
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------------ queue API
+    def put(self, record: Any) -> None:
+        """Enqueue an admitted record and wake one blocked runner."""
+        with self._cond:
+            if self._closed:
+                raise ExecutionError(f"{self.name} scheduler is closed")
+            self._put(record)
+            self._cond.notify()
+
+    def get(self) -> Optional[Any]:
+        """Block for the next record by policy order; ``None`` once closed.
+
+        A close wakes every blocked getter immediately, *without* handing
+        out still-queued records — the daemon's stop path drains those
+        explicitly so it can fail them to their submitters.
+        """
+        with self._cond:
+            while not self._closed:
+                record = self._pop()
+                if record is not None:
+                    return record
+                self._cond.wait()
+            return None
+
+    def cancel(self, record: Any) -> bool:
+        """Remove a still-queued record; False if it already left the queue."""
+        with self._lock:
+            return self._remove(record)
+
+    def drain(self) -> List[Any]:
+        """Remove and return every queued record, in policy order."""
+        records: List[Any] = []
+        with self._lock:
+            while True:
+                record = self._pop()
+                if record is None:
+                    return records
+                records.append(record)
+
+    def queued_ahead(self, record: Any) -> int:
+        """Queued records the policy guarantees to serve before ``record``.
+
+        An admission-time estimate (a concurrent dequeue can make it off
+        by one): every strictly-higher-priority record plus those the
+        policy orders ahead within ``record``'s own class.  Equal-priority
+        work from *other* tenants interleaves rather than strictly
+        preceding, so it is not counted.
+        """
+        with self._lock:
+            return self._guaranteed_ahead(record)
+
+    def qsize(self) -> int:
+        with self._lock:
+            return self._size()
+
+    # ------------------------------------------------------------------ lifecycle
+    def open(self) -> None:
+        """(Re-)enable admissions; the daemon calls this from ``start()``."""
+        with self._lock:
+            self._closed = False
+
+    def close(self) -> None:
+        """Refuse further puts and wake every blocked :meth:`get`."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ hooks
+    def _put(self, record: Any) -> None:
+        raise NotImplementedError
+
+    def _pop(self) -> Optional[Any]:
+        raise NotImplementedError
+
+    def _remove(self, record: Any) -> bool:
+        raise NotImplementedError
+
+    def _size(self) -> int:
+        raise NotImplementedError
+
+    def _guaranteed_ahead(self, record: Any) -> int:
+        raise NotImplementedError
+
+
+class FifoScheduler(SchedulerPolicy):
+    """Arrival-order admission — the pre-scheduler daemon behavior.
+
+    ``tenant`` and ``priority`` are accepted (specs carry them either
+    way) but do not influence dequeue order.
+    """
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: Deque[Any] = deque()
+
+    def _put(self, record: Any) -> None:
+        self._queue.append(record)
+
+    def _pop(self) -> Optional[Any]:
+        return self._queue.popleft() if self._queue else None
+
+    def _remove(self, record: Any) -> bool:
+        try:
+            self._queue.remove(record)
+        except ValueError:
+            return False
+        return True
+
+    def _size(self) -> int:
+        return len(self._queue)
+
+    def _guaranteed_ahead(self, record: Any) -> int:
+        return len(self._queue)
+
+
+class FairScheduler(SchedulerPolicy):
+    """Priority classes + per-tenant deficit/weighted round-robin.
+
+    Dequeue rule, in order:
+
+    1. **Priority jump** — only the highest priority class with queued
+       work is eligible; a priority-9 submission is served before every
+       queued priority-0 run regardless of tenant or arrival order.
+    2. **Weighted fair share** — within that class, tenants take turns
+       in a stable ring.  Each tenant holds a *deficit counter*: when
+       the rotation pointer reaches it, the counter is topped up by the
+       tenant's weight (default 1) and one run costs one credit, so a
+       weight-2 tenant gets two consecutive turns per rotation and a
+       weight-1 tenant one.  A tenant that goes idle forfeits its
+       accrued credit — fairness is over *backlogged* tenants, exactly
+       like deficit round-robin packet scheduling.
+    3. Within one ``(tenant, priority)`` class, arrival order (FIFO).
+
+    ``weights`` maps tenant name to a positive weight; unnamed tenants
+    get ``default_weight``.
+    """
+
+    name = "fair"
+
+    def __init__(
+        self,
+        weights: Optional[Dict[str, float]] = None,
+        default_weight: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if default_weight <= 0:
+            raise ExecutionError("scheduler default_weight must be positive")
+        self.default_weight = float(default_weight)
+        self.weights: Dict[str, float] = {}
+        for tenant, weight in (weights or {}).items():
+            try:
+                weight = float(weight)
+            except (TypeError, ValueError):
+                raise ExecutionError(
+                    f"tenant weight for {tenant!r} must be a number, got {weight!r}"
+                ) from None
+            if weight <= 0:
+                raise ExecutionError(
+                    f"tenant weight for {tenant!r} must be positive, got {weight}"
+                )
+            self.weights[str(tenant)] = weight
+        #: tenant -> priority -> FIFO of records at that (tenant, priority).
+        self._queues: Dict[str, Dict[int, Deque[Any]]] = {}
+        #: Stable service ring: tenants in first-seen order.
+        self._ring: List[str] = []
+        self._pointer = 0
+        self._deficit: Dict[str, float] = {}
+
+    def _weight(self, tenant: str) -> float:
+        return self.weights.get(tenant, self.default_weight)
+
+    def _tenant_backlog(self, tenant: str) -> int:
+        return sum(len(q) for q in self._queues.get(tenant, {}).values())
+
+    def _put(self, record: Any) -> None:
+        tenant = record.tenant
+        if tenant not in self._queues:
+            self._queues[tenant] = {}
+            self._ring.append(tenant)
+            self._deficit[tenant] = 0.0
+        self._queues[tenant].setdefault(record.priority, deque()).append(record)
+
+    def _top_priority(self) -> Optional[int]:
+        top: Optional[int] = None
+        for by_priority in self._queues.values():
+            for priority, queue in by_priority.items():
+                if queue and (top is None or priority > top):
+                    top = priority
+        return top
+
+    def _pop(self) -> Optional[Any]:
+        top = self._top_priority()
+        if top is None:
+            return None
+        # Bounded scan: each full rotation tops every backlogged tenant's
+        # deficit up by its weight (>= min weight), so a few rotations
+        # always produce a serveable tenant.  The fallback after the
+        # bound can only trigger on pathological fractional weights and
+        # degrades to plain rotation order rather than failing.
+        min_weight = min(
+            [self.default_weight] + [self._weight(t) for t in self._ring]
+        )
+        rotations = int(1.0 / min_weight) + 2
+        for _ in range(rotations * max(len(self._ring), 1)):
+            tenant = self._ring[self._pointer % len(self._ring)]
+            queue = self._queues[tenant].get(top)
+            if not queue:
+                if self._tenant_backlog(tenant) == 0:
+                    # Idle tenants forfeit accrued credit (DRR rule);
+                    # backlogged-but-outranked tenants keep theirs.
+                    self._deficit[tenant] = 0.0
+                self._advance()
+                continue
+            if self._deficit[tenant] < 1.0:
+                self._deficit[tenant] += self._weight(tenant)
+            if self._deficit[tenant] < 1.0:
+                self._advance()  # fractional weight still accruing credit
+                continue
+            self._deficit[tenant] -= 1.0
+            record = queue.popleft()
+            if self._tenant_backlog(tenant) == 0:
+                self._deficit[tenant] = 0.0
+                self._advance()
+            elif self._deficit[tenant] < 1.0:
+                self._advance()  # turn spent; the ring moves on
+            return record
+        for by_priority in self._queues.values():  # pragma: no cover - fallback
+            queue = by_priority.get(top)
+            if queue:
+                return queue.popleft()
+        return None  # pragma: no cover - top_priority said there was work
+
+    def _advance(self) -> None:
+        self._pointer = (self._pointer + 1) % max(len(self._ring), 1)
+
+    def _remove(self, record: Any) -> bool:
+        queue = self._queues.get(record.tenant, {}).get(record.priority)
+        if queue is None:
+            return False
+        try:
+            queue.remove(record)
+        except ValueError:
+            return False
+        return True
+
+    def _size(self) -> int:
+        return sum(self._tenant_backlog(tenant) for tenant in self._queues)
+
+    def _guaranteed_ahead(self, record: Any) -> int:
+        ahead = 0
+        for by_priority in self._queues.values():
+            for priority, queue in by_priority.items():
+                if priority > record.priority:
+                    ahead += len(queue)
+        own = self._queues.get(record.tenant, {}).get(record.priority)
+        if own is not None:
+            ahead += len(own)
+        return ahead
+
+
+#: Scheduler names accepted by ``ServeDaemon(scheduler=...)`` / ``--scheduler``.
+SCHEDULERS = ("fifo", "fair")
+
+
+def make_scheduler(
+    spec: Any,
+    tenant_weights: Optional[Dict[str, float]] = None,
+) -> SchedulerPolicy:
+    """Build a scheduler from a name or pass a ready policy through.
+
+    ``tenant_weights`` only makes sense for the fair policy; naming it
+    with ``"fifo"`` (or alongside a ready instance, which carries its own
+    weights) is refused rather than silently ignored.
+    """
+    if isinstance(spec, SchedulerPolicy):
+        if tenant_weights:
+            raise ExecutionError(
+                "tenant_weights cannot be combined with a ready scheduler "
+                "instance; configure the instance directly"
+            )
+        return spec
+    if spec == "fifo":
+        if tenant_weights:
+            raise ExecutionError(
+                "tenant_weights requires the fair scheduler, not fifo"
+            )
+        return FifoScheduler()
+    if spec == "fair":
+        return FairScheduler(weights=tenant_weights)
+    raise ExecutionError(
+        f"unknown scheduler {spec!r}; expected one of {list(SCHEDULERS)} "
+        "or a SchedulerPolicy instance"
+    )

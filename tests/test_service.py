@@ -59,7 +59,16 @@ class TestSpecValidation:
             "seed": 7,
             "policy": "opt",
             "cost_model": "simulated",
+            "tenant": "default",
+            "priority": 0,
         }
+
+    def test_tenant_and_priority_are_validated(self):
+        spec = validate_spec(
+            {"workload": "census", "tenant": "team-a", "priority": 7}
+        )
+        assert spec["tenant"] == "team-a"
+        assert spec["priority"] == 7
 
     @pytest.mark.parametrize(
         ("bad", "match"),
@@ -74,6 +83,13 @@ class TestSpecValidation:
             ({"workload": "census", "scale": 0}, "scale"),
             ({"workload": "census", "policy": "maybe"}, "unknown policy"),
             ({"workload": "census", "cost_model": "guess"}, "unknown cost_model"),
+            ({"workload": "census", "tenant": ""}, "tenant"),
+            ({"workload": "census", "tenant": 7}, "tenant"),
+            ({"workload": "census", "tenant": "bad tenant!"}, "tenant"),
+            ({"workload": "census", "tenant": "x" * 65}, "tenant"),
+            ({"workload": "census", "priority": "urgent"}, "non-numeric priority"),
+            ({"workload": "census", "priority": -1}, "priority must be within"),
+            ({"workload": "census", "priority": 10}, "priority must be within"),
         ],
     )
     def test_malformed_specs_fail_typed(self, bad, match):
@@ -253,10 +269,182 @@ class TestStopSemantics:
             reply = _recv_message(client_sock)
             assert reply[0] == "failed"
             assert "stopping" in reply[2]
-            assert daemon._queue.empty()  # nothing stranded for a drain
+            assert daemon._scheduler.qsize() == 0  # nothing stranded for a drain
             assert daemon.stats()["queued"] == 0
         finally:
             client_sock.close()
+
+
+# ---------------------------------------------------------------------------
+# Service-layer bugfix regressions
+# ---------------------------------------------------------------------------
+class _NoWatcherDaemon(_GatedDaemon):
+    """Gated daemon with the disconnect watcher disabled, so a dead
+    client survives in the queue until the dequeue-time liveness check —
+    the path a client racing the runner handoff takes."""
+
+    def _watch_queued_client(self, record):
+        pass
+
+
+class TestBugfixes:
+    def test_dead_client_run_is_not_executed(self):
+        """A queued run whose submitter vanished must not occupy a runner
+        slot and the fleet: the dequeue-time EOF peek fails it unrun."""
+        daemon = _NoWatcherDaemon(max_workers=1, max_concurrent_runs=1)
+        daemon.start()
+        try:
+            client = ServiceClient(daemon.address)
+            running = client.submit(dict(CENSUS_SPEC, iterations=1))
+            deadline = time.monotonic() + 10
+            while not daemon.executed and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert daemon.executed == ["run-1"]
+            dead = client.submit(dict(CENSUS_SPEC, iterations=1, seed=11))
+            dead.close()  # the submitter hangs up while run-2 is queued
+            daemon.gate.set()
+            running.result()
+            deadline = time.monotonic() + 10
+            while "run-2" not in daemon.stats()["failed"]:
+                assert time.monotonic() < deadline, daemon.stats()
+                time.sleep(0.01)
+            stats = daemon.stats()
+            assert daemon.executed == ["run-1"]  # run-2 never executed
+            assert stats["failed"] == ["run-2"]
+            assert stats["queued"] == 0 and stats["active"] == 0
+        finally:
+            daemon.gate.set()
+            daemon.stop()
+
+    def test_stop_warns_on_runner_still_mid_run(self):
+        """stop() must not silently proceed past a runner that outlived
+        the join timeout: it warns naming the thread, re-joins after the
+        fleet drain, and warns again if the thread truly leaked."""
+        daemon = _GatedDaemon(max_workers=1, max_concurrent_runs=1)
+        daemon.start()
+        try:
+            client = ServiceClient(daemon.address)
+            handle = client.submit(dict(CENSUS_SPEC, iterations=1))
+            deadline = time.monotonic() + 10
+            while not daemon.executed and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert daemon.executed == ["run-1"]
+            with pytest.warns(RuntimeWarning, match="repro-serve-run-0"):
+                daemon.stop(join_timeout=0.2)  # the gated run is still live
+        finally:
+            daemon.gate.set()
+        assert handle.result() == {"ok": "run-1"}  # the run still finished
+
+    @pytest.mark.parametrize(
+        "reply",
+        [
+            ("accepted",),                 # truncated tuple
+            ("accepted", "run-1"),         # missing admission info
+            ("failed",),                   # truncated refusal
+            "accepted",                    # not a tuple at all
+            ("accepted", "run-1", "soon"), # junk position payload
+        ],
+    )
+    def test_malformed_admission_reply_raises_typed(self, reply):
+        """A daemon (or impostor) sending a malformed admission tuple
+        must surface as ExecutionError, not bare IndexError/TypeError."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+
+        def _fake_daemon():
+            conn, _ = listener.accept()
+            _recv_message(conn)  # the submit frame
+            _send_message(conn, reply)
+            conn.close()
+
+        server = threading.Thread(target=_fake_daemon, daemon=True)
+        server.start()
+        try:
+            client = ServiceClient(listener.getsockname(), connect_timeout=5)
+            with pytest.raises(ExecutionError, match="admission reply"):
+                client.submit(dict(CENSUS_SPEC))
+        finally:
+            server.join(timeout=5)
+            listener.close()
+
+    def test_legacy_integer_admission_reply_still_accepted(self):
+        """Pre-scheduler daemons reported a bare queued+active count."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+
+        def _fake_daemon():
+            conn, _ = listener.accept()
+            _recv_message(conn)
+            _send_message(conn, ("accepted", "run-1", 3))
+            conn.close()
+
+        server = threading.Thread(target=_fake_daemon, daemon=True)
+        server.start()
+        try:
+            client = ServiceClient(listener.getsockname(), connect_timeout=5)
+            handle = client.submit(dict(CENSUS_SPEC))
+            assert handle.queue_position == 3
+            assert handle.queued_ahead == 3 and handle.active_at_admission == 0
+            handle.close()
+        finally:
+            server.join(timeout=5)
+            listener.close()
+
+    def test_queue_position_reports_queued_and_active_split(self):
+        """Client and daemon agree on the semantics: queue_position is the
+        admitted-but-unfinished count, with the queued/active split (and
+        the policy position) reported alongside."""
+        daemon = _GatedDaemon(max_workers=1, max_concurrent_runs=1)
+        daemon.start()
+        try:
+            client = ServiceClient(daemon.address)
+            first = client.submit(dict(CENSUS_SPEC, iterations=1))
+            deadline = time.monotonic() + 10
+            while not daemon.executed and time.monotonic() < deadline:
+                time.sleep(0.01)
+            second = client.submit(dict(CENSUS_SPEC, iterations=1, seed=11))
+            assert first.queue_position == 0
+            # run-1 is executing, nothing else queued: the split is exact
+            assert second.queued_ahead == 0
+            assert second.active_at_admission == 1
+            assert second.queue_position == 1
+            assert second.position == 0  # no *queued* run starts first
+            assert second.scheduler == "fifo"
+            daemon.gate.set()
+            first.result()
+            second.result()
+        finally:
+            daemon.gate.set()
+            daemon.stop()
+
+    def test_abandoned_event_stream_releases_the_socket(self):
+        """Breaking out of events() mid-stream must close the connection
+        promptly (try/finally in the generator), not at interpreter GC."""
+        with ServeDaemon(max_workers=1) as daemon:
+            client = ServiceClient(daemon.address)
+            handle = client.submit(dict(CENSUS_SPEC, iterations=2))
+            for _kind, _info in handle.events():
+                break  # walk away after the first progress event
+            assert handle._sock is None  # released immediately
+            with pytest.raises(ExecutionError, match="abandoned"):
+                handle.result()
+            # the daemon finishes the orphaned run and keeps serving
+            payload = client.submit(dict(CENSUS_SPEC, iterations=1)).result()
+            assert payload["summary"]["iterations"] == 1
+            deadline = time.monotonic() + 10
+            while len(daemon.stats()["completed"]) < 2:
+                assert time.monotonic() < deadline, daemon.stats()
+                time.sleep(0.01)
+
+    def test_run_handle_is_a_context_manager(self):
+        with ServeDaemon(max_workers=1) as daemon:
+            client = ServiceClient(daemon.address)
+            with client.submit(dict(CENSUS_SPEC, iterations=1)) as handle:
+                payload = handle.result()
+            assert handle._sock is None
+            assert payload["summary"]["iterations"] == 1
 
 
 # ---------------------------------------------------------------------------
