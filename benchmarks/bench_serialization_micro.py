@@ -1,0 +1,250 @@
+"""Micro-benchmark for the canonical wire serialization layer.
+
+Measures the three quantities protocol v4 was built around, against a plain
+``pickle.dumps``/``loads`` baseline:
+
+* **bytes on the wire** for a numpy-backed artifact — canonical encoding
+  must be no larger than pickle for the payloads the executors actually
+  ship (the array body dominates both formats; canonical's explicit type
+  tags cost a few header bytes, out-of-band buffers save the pickle frame
+  opcodes);
+* **zero-copy sends** — the artifact's array bytes must appear in
+  ``encode_segments`` as out-of-band memoryviews sharing the source arrays'
+  memory (the gather-write dispatch path never copies them);
+* **round-trip throughput** for the small control messages the coordinator
+  and workers exchange per task (encode + decode, messages/second).
+
+Running this file as a script (``python benchmarks/bench_serialization_micro.py
+[--smoke] [--json PATH]``) executes all sections standalone, without
+pytest-benchmark, and enforces the size and zero-copy bars; throughput is
+report-only (absolute rates are machine-specific).  ``--json`` dumps every
+section's measurements for the CI artifact upload; CI runs the smoke variant
+on every push (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import sys
+import time
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.storage.canonical import decode, encode, encode_segments
+from repro.storage.serialization import deserialize, serialize
+
+from _bench_helpers import emit, run_once
+
+#: The canonical header/tag overhead allowance vs pickle: the acceptance bar
+#: is "no worse than pickle" on array-dominated artifacts, with 1% slack for
+#: payloads small enough that header bytes are visible at all.
+SIZE_RATIO_BAR = 1.01
+
+
+def _numpy_artifact(scale: int) -> Dict[str, Any]:
+    """A model-checkpoint-shaped artifact: large arrays + small metadata."""
+    rng = np.random.default_rng(7)
+    return {
+        "weights": rng.standard_normal((scale, scale)),
+        "bias": rng.standard_normal(scale),
+        "labels": rng.integers(0, 10, size=scale * 4, dtype=np.int32),
+        "meta": {"epoch": 3, "loss": 0.125, "tags": ("census", "dpr")},
+    }
+
+
+def _control_messages(count: int) -> List[Tuple[Any, ...]]:
+    """The small per-task frames the dispatch path batches."""
+    return [
+        ("task", "session-0", f"node-{index}", b"x" * 64) for index in range(count)
+    ]
+
+
+def _artifacts_equal(left: Dict[str, Any], right: Dict[str, Any]) -> bool:
+    return (
+        np.array_equal(left["weights"], right["weights"])
+        and np.array_equal(left["bias"], right["bias"])
+        and np.array_equal(left["labels"], right["labels"])
+        and left["meta"] == right["meta"]
+    )
+
+
+def measure_artifact_size(scale: int) -> Dict[str, float]:
+    """Bytes-on-wire and zero-copy segment counts for the numpy artifact."""
+    artifact = _numpy_artifact(scale)
+    canonical_payload = serialize(artifact)
+    pickle_payload = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+    segments = encode_segments(artifact)
+    arrays = (artifact["weights"], artifact["bias"], artifact["labels"])
+    zero_copy = sum(
+        1
+        for segment in segments
+        if isinstance(segment, memoryview)
+        and any(
+            np.shares_memory(np.frombuffer(segment, dtype=np.uint8), array)
+            for array in arrays
+        )
+    )
+    round_trip = _artifacts_equal(deserialize(canonical_payload), artifact)
+    return {
+        "scale": scale,
+        "canonical_bytes": len(canonical_payload),
+        "pickle_bytes": len(pickle_payload),
+        "size_ratio": len(canonical_payload) / len(pickle_payload),
+        "zero_copy_segments": zero_copy,
+        "segment_count": len(segments),
+        "round_trip_exact": bool(round_trip),
+    }
+
+
+def measure_throughput(message_count: int, repeats: int = 3) -> Dict[str, float]:
+    """Best-of-N encode+decode rates for small control messages."""
+    messages = _control_messages(message_count)
+    best: Dict[str, float] = {"canonical": float("inf"), "pickle": float("inf")}
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for message in messages:
+            decode(encode(message))
+        best["canonical"] = min(best["canonical"], time.perf_counter() - started)
+        started = time.perf_counter()
+        for message in messages:
+            pickle.loads(pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))
+        best["pickle"] = min(best["pickle"], time.perf_counter() - started)
+    return {
+        "messages": message_count,
+        "canonical_msgs_per_s": message_count / best["canonical"],
+        "pickle_msgs_per_s": message_count / best["pickle"],
+        "relative_throughput": best["pickle"] / best["canonical"],
+    }
+
+
+def _format_sections(sections: Dict[str, Dict[str, float]]) -> str:
+    size = sections["artifact_size"]
+    rate = sections["throughput"]
+    return "\n".join(
+        [
+            f"artifact ({int(size['scale'])}x{int(size['scale'])} f64 + extras):",
+            f"  canonical: {int(size['canonical_bytes'])} bytes, "
+            f"pickle: {int(size['pickle_bytes'])} bytes "
+            f"(ratio {size['size_ratio']:.4f})",
+            f"  zero-copy segments: {int(size['zero_copy_segments'])} "
+            f"of {int(size['segment_count'])}",
+            f"control messages ({int(rate['messages'])} per round):",
+            f"  canonical: {rate['canonical_msgs_per_s']:.0f} msg/s, "
+            f"pickle: {rate['pickle_msgs_per_s']:.0f} msg/s "
+            f"({rate['relative_throughput']:.2f}x relative)",
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (same measurements, harness-managed timing)
+# ---------------------------------------------------------------------------
+def test_bench_canonical_artifact_round_trip(benchmark):
+    """Encode+decode of the numpy artifact; asserts the size and zero-copy bars."""
+    artifact = _numpy_artifact(128)
+    payload = benchmark(lambda: serialize(artifact))
+    assert _artifacts_equal(deserialize(payload), artifact)
+    size = measure_artifact_size(128)
+    assert size["size_ratio"] <= SIZE_RATIO_BAR
+    assert size["zero_copy_segments"] >= 3  # weights, bias, labels
+
+
+def test_bench_control_message_round_trip(benchmark):
+    """Per-message encode+decode cost on the small-task dispatch shape."""
+    message = _control_messages(1)[0]
+    result = benchmark(lambda: decode(encode(message)))
+    assert result == message
+
+
+def test_serialization_micro_report(benchmark):
+    sections = run_once(
+        benchmark,
+        lambda: {
+            "artifact_size": measure_artifact_size(128),
+            "throughput": measure_throughput(500),
+        },
+    )
+    emit("Serialization micro — canonical vs pickle", _format_sections(sections))
+    assert sections["artifact_size"]["round_trip_exact"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Canonical serialization vs pickle: size, zero-copy, throughput"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller artifact and fewer messages; used by CI on every push",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write every section's measurements to PATH as JSON "
+        "(uploaded as a CI artifact by the serialization smoke job)",
+    )
+    args = parser.parse_args(argv)
+    scale = 64 if args.smoke else 256
+    message_count = 200 if args.smoke else 2000
+
+    failures: List[str] = []
+    sections: Dict[str, Dict[str, float]] = {
+        "artifact_size": measure_artifact_size(scale),
+        "throughput": measure_throughput(message_count),
+    }
+    print(_format_sections(sections))
+
+    size = sections["artifact_size"]
+    if not size["round_trip_exact"]:
+        failures.append("canonical round trip did not reproduce the artifact")
+    if size["size_ratio"] > SIZE_RATIO_BAR:
+        failures.append(
+            f"canonical payload is {size['size_ratio']:.4f}x pickle — above the "
+            f"{SIZE_RATIO_BAR:g}x bytes-on-wire bar"
+        )
+    else:
+        print(
+            f"OK: canonical bytes-on-wire {size['size_ratio']:.4f}x pickle "
+            f"(bar {SIZE_RATIO_BAR:g}x)"
+        )
+    if size["zero_copy_segments"] < 3:
+        failures.append(
+            f"only {int(size['zero_copy_segments'])} zero-copy segments — the "
+            f"artifact's three arrays must all ship out of band"
+        )
+    else:
+        print(
+            f"OK: {int(size['zero_copy_segments'])} zero-copy segments "
+            f"(weights, bias, labels ship without copies)"
+        )
+    print(
+        f"INFO: control-message throughput {sections['throughput']['relative_throughput']:.2f}x "
+        f"relative to pickle (report-only)"
+    )
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(
+                {
+                    "smoke": bool(args.smoke),
+                    "sections": sections,
+                    "failures": failures,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"wrote measurements to {args.json}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

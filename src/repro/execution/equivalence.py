@@ -34,14 +34,16 @@ intentionally excluded: concurrent executors legitimately hold more values
 in memory at once, so residency profiles differ between strategies and
 worker counts.
 
-Exact *serialized* artifact sizes (``storage_bytes``) are representation-
-dependent: pickling memoizes shared sub-objects by identity, and a value
-that crossed a process boundary can re-pickle a few bytes larger or smaller
-than its in-process twin with identical logical content.  Synthetic DAGs
-(scalar values) are unaffected; for real workloads compared across the
-process or distributed executors, pass ``include_storage=False`` (the
-estimated ``node_sizes``, which feed the cost model, always participate and
-always match).
+Exact *serialized* artifact sizes (``storage_bytes``) participate
+unconditionally, and the comparison is exact equality.  Artifacts are
+serialized with the canonical encoding of :mod:`repro.storage.canonical`
+— deterministic bytes for a given value, in every process — so a value
+that crossed a process or distributed boundary serializes to exactly the
+bytes its in-process twin does.  (Under plain pickle this was not true:
+pickle memoizes shared sub-objects by identity, so sizes drifted a few
+bytes across process boundaries and this harness had to offer
+``include_storage=False`` tolerances.  Those knobs are gone; a size
+mismatch now always means a real divergence.)
 """
 
 from __future__ import annotations
@@ -87,17 +89,15 @@ def _float_token(value: float) -> str:
     return repr(float(value))
 
 
-def canonical_run(
-    stats: RunStats, include_times: bool = True, include_storage: bool = True
-) -> Dict[str, Any]:
+def canonical_run(stats: RunStats, include_times: bool = True) -> Dict[str, Any]:
     """A canonical, JSON-serializable view of one iteration's run statistics.
 
     ``include_times`` controls whether charged times (node, component,
     materialization) and the decision thresholds participate.  Set it to
     ``False`` when comparing runs executed under a wall-clock cost model,
-    where charged times are legitimately noisy.  ``include_storage`` controls
-    the exact serialized store size (see the module docstring for why it may
-    differ across a process boundary).
+    where charged times are legitimately noisy.  The exact serialized store
+    size (``storage_bytes``) always participates: canonical serialization
+    makes it bit-identical across process boundaries (module docstring).
     """
     canonical: Dict[str, Any] = {
         "workflow": stats.workflow_name,
@@ -113,8 +113,7 @@ def canonical_run(
             for decision in stats.decisions
         ],
     }
-    if include_storage:
-        canonical["storage_bytes"] = int(stats.storage_bytes)
+    canonical["storage_bytes"] = int(stats.storage_bytes)
     if include_times:
         canonical["node_times"] = {
             name: _float_token(charged) for name, charged in sorted(stats.node_times.items())
@@ -144,18 +143,17 @@ def run_signature(stats: RunStats, include_times: bool = True) -> str:
 
 
 def stats_store_snapshot(
-    stats: StatsStore, include_times: bool = True, include_storage: bool = True
+    stats: StatsStore, include_times: bool = True
 ) -> Dict[str, Any]:
     """Canonical view of a :class:`StatsStore`'s per-signature metrics.
 
-    ``include_storage`` excludes the exact recorded byte sizes, which are
-    representation-dependent across a process boundary (module docstring).
+    Recorded byte sizes always participate: canonical serialization makes
+    them deterministic across process boundaries (module docstring).
     """
     snapshot: Dict[str, Any] = {}
     for signature, metrics in stats.items():
         entry: Dict[str, Any] = {"observations": metrics.observations}
-        if include_storage:
-            entry["storage_bytes"] = metrics.storage_bytes
+        entry["storage_bytes"] = metrics.storage_bytes
         if include_times:
             entry["compute_time"] = _float_token(metrics.compute_time)
             entry["load_time"] = _float_token(metrics.load_time)
@@ -163,21 +161,15 @@ def stats_store_snapshot(
     return snapshot
 
 
-def store_snapshot(
-    store: MaterializationStore, include_sizes: bool = True
-) -> Dict[str, Any]:
+def store_snapshot(store: MaterializationStore) -> Dict[str, Any]:
     """Canonical view of a materialization store's catalog (what is persisted).
 
-    ``include_sizes`` excludes the exact serialized artifact sizes, which are
-    representation-dependent across a process boundary (module docstring);
-    *which* nodes are persisted always participates.
+    Both *which* nodes are persisted and their exact serialized artifact
+    sizes participate — canonical bytes are deterministic per value, so
+    equal stores snapshot equal (module docstring).
     """
     return {
-        record.signature: (
-            {"node": record.node_name, "size_bytes": record.size_bytes}
-            if include_sizes
-            else {"node": record.node_name}
-        )
+        record.signature: {"node": record.node_name, "size_bytes": record.size_bytes}
         for record in store.artifacts()
     }
 
@@ -186,12 +178,11 @@ def compare_runs(
     reference: RunStats,
     candidate: RunStats,
     include_times: bool = True,
-    include_storage: bool = True,
 ) -> List[str]:
     """Field-by-field comparison; returns human-readable mismatch descriptions."""
     mismatches: List[str] = []
-    left = canonical_run(reference, include_times=include_times, include_storage=include_storage)
-    right = canonical_run(candidate, include_times=include_times, include_storage=include_storage)
+    left = canonical_run(reference, include_times=include_times)
+    right = canonical_run(candidate, include_times=include_times)
     for key in left:
         if left[key] != right[key]:
             mismatches.append(
@@ -204,7 +195,6 @@ def assert_equivalent_runs(
     reference: RunStats,
     candidate: RunStats,
     include_times: bool = True,
-    include_storage: bool = True,
     reference_stats: Optional[StatsStore] = None,
     candidate_stats: Optional[StatsStore] = None,
     reference_store: Optional[MaterializationStore] = None,
@@ -212,25 +202,21 @@ def assert_equivalent_runs(
 ) -> None:
     """Assert two runs (and optionally their persistent state) are equivalent.
 
-    Raises ``AssertionError`` listing every mismatching field.  Pass the
-    engines' :class:`StatsStore` and :class:`MaterializationStore` instances
-    to extend the check to cross-iteration state.
+    Raises ``AssertionError`` listing every mismatching field — including
+    exact storage byte counts, which canonical serialization keeps
+    bit-identical across executor strategies.  Pass the engines'
+    :class:`StatsStore` and :class:`MaterializationStore` instances to
+    extend the check to cross-iteration state.
     """
-    mismatches = compare_runs(
-        reference, candidate, include_times=include_times, include_storage=include_storage
-    )
+    mismatches = compare_runs(reference, candidate, include_times=include_times)
     if reference_stats is not None and candidate_stats is not None:
-        left = stats_store_snapshot(
-            reference_stats, include_times=include_times, include_storage=include_storage
-        )
-        right = stats_store_snapshot(
-            candidate_stats, include_times=include_times, include_storage=include_storage
-        )
+        left = stats_store_snapshot(reference_stats, include_times=include_times)
+        right = stats_store_snapshot(candidate_stats, include_times=include_times)
         if left != right:
             mismatches.append(f"stats_store: reference={_compact(left)} candidate={_compact(right)}")
     if reference_store is not None and candidate_store is not None:
-        left = store_snapshot(reference_store, include_sizes=include_storage)
-        right = store_snapshot(candidate_store, include_sizes=include_storage)
+        left = store_snapshot(reference_store)
+        right = store_snapshot(candidate_store)
         if left != right:
             mismatches.append(f"materialization_store: reference={_compact(left)} candidate={_compact(right)}")
     if mismatches:
@@ -242,22 +228,20 @@ def assert_equivalent_runs(
 def canonical_lifecycle(
     iterations: Sequence[RunStats],
     include_times: bool = False,
-    include_storage: bool = False,
 ) -> List[Dict[str, Any]]:
     """Canonical views of a whole lifecycle's per-iteration statistics.
 
     One :func:`canonical_run` dict per iteration, in order.  This is the
     payload the ``repro serve`` daemon returns for a submitted run and what
-    its inline-verification compares against: with the defaults (times and
-    storage excluded) two lifecycles are equal exactly when they executed
-    the same nodes into the same states with identical outputs and
-    materialization decisions — "identical modulo timing/memory".  The
-    output is JSON-serializable (operator outputs are content digests).
+    its inline-verification compares against: with the default (times
+    excluded) two lifecycles are equal exactly when they executed the same
+    nodes into the same states with identical outputs, materialization
+    decisions *and* exact storage byte counts — canonical serialization
+    makes the sizes deterministic, so a served run matches its inline
+    reference bit-for-bit, "identical modulo timing/memory".  The output
+    is JSON-serializable (operator outputs are content digests).
     """
-    return [
-        canonical_run(stats, include_times=include_times, include_storage=include_storage)
-        for stats in iterations
-    ]
+    return [canonical_run(stats, include_times=include_times) for stats in iterations]
 
 
 def _compact(value: Any, limit: int = 300) -> str:
@@ -402,15 +386,13 @@ def assert_executor_matrix_equivalent(
     runs: Dict[str, MatrixRun],
     reference: Optional[str] = None,
     include_times: bool = True,
-    include_storage: bool = True,
 ) -> None:
     """Assert every executor's runs + persistent state match the reference's.
 
     ``reference`` defaults to the first executor in ``runs`` (by convention
-    the inline strategy).  ``include_times``/``include_storage`` are
-    forwarded to :func:`assert_equivalent_runs` — pass
-    ``include_storage=False`` for real workloads compared across the process
-    executor (module docstring).
+    the inline strategy).  ``include_times`` is forwarded to
+    :func:`assert_equivalent_runs`; storage statistics always participate,
+    compared with exact equality (module docstring).
     """
     names = list(runs)
     if reference is None:
@@ -424,14 +406,11 @@ def assert_executor_matrix_equivalent(
             raise AssertionError(
                 f"executor {name!r} solved different plans than {reference!r}"
             )
-        assert_equivalent_runs(
-            ref0, stats0, include_times=include_times, include_storage=include_storage
-        )
+        assert_equivalent_runs(ref0, stats0, include_times=include_times)
         assert_equivalent_runs(
             ref1,
             stats1,
             include_times=include_times,
-            include_storage=include_storage,
             reference_stats=rigs[reference].stats_store,
             candidate_stats=rigs[name].stats_store,
             reference_store=rigs[reference].store,
@@ -443,7 +422,6 @@ def assert_executors_equivalent(
     dag,
     executors: Sequence[MatrixColumn] = EXECUTOR_NAMES,
     include_times: bool = True,
-    include_storage: bool = True,
     **matrix_kwargs,
 ) -> Tuple[Dict[str, ExecutorRig], Dict[str, MatrixRun]]:
     """Run :func:`run_executor_matrix` and assert the whole matrix agrees.
@@ -458,10 +436,11 @@ def assert_executors_equivalent(
         DistributedExecutor(workers=[...]))``; defaults to every built-in
         (:data:`EXECUTOR_NAMES` — inline, thread, process, distributed).
         The first entry is the reference.
-    include_times / include_storage:
-        Forwarded to :func:`assert_equivalent_runs`; disable
-        ``include_storage`` for real workloads compared across a process
-        boundary (module docstring).
+    include_times:
+        Forwarded to :func:`assert_equivalent_runs`.  Storage statistics
+        always participate and are compared with exact equality — the
+        canonical serializer makes byte counts deterministic across
+        process boundaries (module docstring).
     **matrix_kwargs:
         Forwarded to :func:`run_executor_matrix` (``policy_factory``,
         ``budget_bytes``, ``max_workers``, ``forced_second``).
@@ -477,7 +456,5 @@ def assert_executors_equivalent(
         Listing every mismatching field of the first non-equivalent run.
     """
     rigs, runs = run_executor_matrix(dag, executors=executors, **matrix_kwargs)
-    assert_executor_matrix_equivalent(
-        rigs, runs, include_times=include_times, include_storage=include_storage
-    )
+    assert_executor_matrix_equivalent(rigs, runs, include_times=include_times)
     return rigs, runs

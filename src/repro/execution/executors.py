@@ -83,7 +83,14 @@ from concurrent.futures import wait as wait_futures
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple, Type, Union
 
 from ..exceptions import ExecutionError, OperatorError, ProtocolError
-from ..storage.serialization import ArtifactRef, deserialize, recv_frame, send_frame, serialize
+from ..storage.serialization import (
+    PROTOCOL_VERSION,
+    ArtifactRef,
+    deserialize,
+    recv_message,
+    send_message,
+    serialize,
+)
 
 __all__ = [
     "Executor",
@@ -538,14 +545,27 @@ class ProcessExecutor(_OutOfProcessExecutor):
 # ---------------------------------------------------------------------------
 # Distributed executor: TCP coordinator + long-lived worker processes
 # ---------------------------------------------------------------------------
-def _send_message(sock: socket.socket, message: Any, lock: Optional[threading.Lock] = None) -> None:
-    """Serialize ``message`` and send it as one frame (optionally locked)."""
-    frame = serialize(message)
-    if lock is None:
-        send_frame(sock, frame)
-    else:
-        with lock:
-            send_frame(sock, frame)
+#: Largest single task payload the dispatcher will coalesce into a
+#: ``("batch", ...)`` envelope.  Batching exists to amortize per-frame
+#: overhead on *small* pipelined messages; a large payload already
+#: dominates its frame cost and ships alone.
+_BATCH_MAX_TASK_BYTES = 8192
+
+
+def _send_message(
+    sock: socket.socket,
+    message: Any,
+    lock: Optional[threading.Lock] = None,
+    version: int = PROTOCOL_VERSION,
+) -> None:
+    """Send ``message`` as one gather-written frame (optionally locked).
+
+    ``version`` is the negotiated protocol of the *peer*: a v4 peer gets
+    the canonical zero-copy encoding (header + segments via ``sendmsg``,
+    NumPy-backed payload buffers never copied), a v3 peer a plain-pickle
+    frame — see :func:`repro.storage.serialization.send_message`.
+    """
+    send_message(sock, message, lock=lock, version=version)
 
 
 def _recv_message(
@@ -554,12 +574,13 @@ def _recv_message(
     """Receive one framed message; ``None`` when the peer closed cleanly.
 
     ``on_progress`` fires per received chunk, mid-frame included — see
-    :func:`repro.storage.serialization.recv_frame`.
+    :func:`repro.storage.serialization.recv_frame`.  Callers that negotiate
+    (the worker reader, the coordinator's registration reads) use
+    :func:`repro.storage.serialization.recv_message` directly, which also
+    reports the peer's protocol version.
     """
-    frame = recv_frame(sock, on_progress=on_progress)
-    if frame is None:
-        return None
-    return deserialize(frame)
+    received = recv_message(sock, on_progress=on_progress)
+    return None if received is None else received[0]
 
 
 def _is_registration(message: Any) -> bool:
@@ -617,11 +638,14 @@ class _FetchSlot:
 #: consecutive tasks to stay warm.
 _WORKER_FETCH_CACHE_ENTRIES = 8
 
-#: Byte budget for the same cache, measured in *approximate serialized
-#: bytes* (the length of each fetched artifact's blob).  The entry cap
-#: alone is the wrong bound for large values — eight multi-GB artifacts
-#: would hold the worker's whole address space hostage — so eviction
-#: triggers on whichever bound is exceeded first.
+#: Byte budget for the same cache, measured in the *canonical encoded
+#: size* of each fetched artifact — the exact length of the blob the
+#: coordinator shipped, which is deterministic for a given value (no
+#: pickle-memoization drift across processes, so cache-bound behavior is
+#: reproducible).  The entry cap alone is the wrong bound for large
+#: values — eight multi-GB artifacts would hold the worker's whole
+#: address space hostage — so eviction triggers on whichever bound is
+#: exceeded first.
 _WORKER_FETCH_CACHE_BYTES = 256 * 1024 * 1024
 
 
@@ -630,10 +654,13 @@ class _FetchCache:
 
     Small artifacts keep :data:`_WORKER_FETCH_CACHE_ENTRIES` as their
     bound; large artifacts are evicted as soon as the cached blobs'
-    combined serialized size exceeds the byte budget.  The most recently
-    inserted entry is never evicted, so an artifact above the whole budget
-    still serves the task that fetched it (and is dropped on the next
-    insert).
+    combined canonical encoded size exceeds the byte budget.  Sizes are
+    the exact ``len()`` of each fetched blob — canonical bytes are
+    deterministic per value, so the same artifacts always charge the same
+    budget in every worker (no re-serialization, no pickle-memo drift).
+    The most recently inserted entry is never evicted, so an artifact
+    above the whole budget still serves the task that fetched it (and is
+    dropped on the next insert).
     """
 
     __slots__ = ("max_entries", "max_bytes", "_entries", "_bytes")
@@ -687,9 +714,13 @@ class WorkerServer:
     tasks and runs them via :func:`run_serialized_task`, answering with a
     ``result`` or a picklable ``error``, and a **heartbeat** thread beats
     every ``heartbeat_interval`` seconds so the coordinator can distinguish
-    a busy worker from a dead one.  One connection can carry several
-    multiplexed run *sessions* (protocol version 3 tags every task-related
-    frame with a session id): tasks queue in per-session lanes drained
+    a busy worker from a dead one.  Frames use the canonical zero-copy
+    encoding of protocol version 4 — batched dispatches arrive as one
+    ``("batch", ...)`` envelope and are acked with one batched frame — and
+    the worker answers a v3 coordinator frame-for-frame at v3 (plain
+    pickle, no batching).  One connection can carry several
+    multiplexed run *sessions* (since protocol version 3 every task-related
+    frame carries a session id): tasks queue in per-session lanes drained
     round-robin, so no session's backlog starves another's, and task inputs
     shipped as :class:`~repro.storage.serialization.ArtifactRef` are
     resolved through the connection's FETCH lane with a per-session,
@@ -816,6 +847,15 @@ class WorkerServer:
         send_lock = threading.Lock()
         stop = threading.Event()
         wake = threading.Condition()
+        # Newest protocol version the coordinator has demonstrably sent;
+        # every reply goes out at min(ours, theirs).  Starts optimistic (a
+        # v3 coordinator cannot read our v4 registration anyway — upgrades
+        # roll coordinator-first, see the serialization module docstring)
+        # and downgrades on the first v3 frame received.
+        peer = {"version": PROTOCOL_VERSION}
+
+        def _peer_version() -> int:
+            return min(PROTOCOL_VERSION, peer["version"])
         # Per-session FIFO task lanes in round-robin order: the session just
         # served rotates to the back, so with several sessions queued each
         # gets one task per round instead of the first backlog winning.
@@ -841,54 +881,93 @@ class WorkerServer:
         def _heartbeat() -> None:
             while not stop.wait(self.heartbeat_interval):
                 try:
-                    _send_message(sock, ("heartbeat", self.worker_id), send_lock)
+                    _send_message(
+                        sock,
+                        ("heartbeat", self.worker_id),
+                        send_lock,
+                        version=_peer_version(),
+                    )
                 except OSError:
                     return
+
+        def _enqueue_task(message: Tuple[Any, ...]) -> None:
+            _, session, key, payload = message
+            with wake:
+                lanes.setdefault(session, deque()).append((key, payload))
+                wake.notify_all()
+
+        def _handle_control(message: Tuple[Any, ...]) -> None:
+            kind = message[0]
+            if kind == "artifact":
+                _, session, signature, blob = message
+                with fetch_lock:
+                    slot = fetch_slots.pop((session, signature), None)
+                if slot is not None:
+                    slot.blob = blob
+                    slot.served = True
+                    slot.event.set()
+            elif kind == "close_session":
+                # The coordinator drained the session and dropped it:
+                # release its lane, cache and pending fetch slots so a
+                # long-lived connection does not accumulate one set of
+                # each per finished run.
+                _, session = message
+                with wake:
+                    lanes.pop(session, None)
+                caches.pop(session, None)
+                with fetch_lock:
+                    stale = [k for k in fetch_slots if k[0] == session]
+                    closed = [fetch_slots.pop(k) for k in stale]
+                for slot in closed:
+                    slot.event.set()  # served stays False -> fetch fails typed
 
         def _reader() -> None:
             # Runs concurrently with task execution so a pipelined task N+1
             # is acked the moment its frame arrives, not when task N ends.
             while True:
                 try:
-                    message = _recv_message(sock)
+                    received = recv_message(sock)
                 except Exception:  # noqa: BLE001 - transport error = connection over
-                    message = None
-                if message is None or message[0] == "shutdown":
+                    received = None
+                if received is None:
                     break
-                kind = message[0]
-                if kind == "task":
-                    _, session, key, payload = message
+                message, version = received
+                peer["version"] = version
+                try:
+                    # A v4 batch envelope carries several small messages in
+                    # one frame — typically the pipelined window's task
+                    # dispatches.  Unwrap it, acking every task in one
+                    # (batched) frame first so the coordinator's pipeline
+                    # window refills promptly.
+                    inner = message[1] if message[0] == "batch" else (message,)
+                    if any(m[0] == "shutdown" for m in inner):
+                        break
+                    acks = tuple(
+                        ("ack", self.worker_id, m[1], m[2])
+                        for m in inner
+                        if m[0] == "task"
+                    )
+                except Exception:  # noqa: BLE001 - malformed message shape
+                    # A frame that decoded but does not have a well-formed
+                    # message (or batch) shape means the peer is not speaking
+                    # this protocol: end the session cleanly rather than let
+                    # the reader thread die without releasing the serve loop.
+                    break
+                if acks:
                     try:
                         _send_message(
-                            sock, ("ack", self.worker_id, session, key), send_lock
+                            sock,
+                            acks[0] if len(acks) == 1 else ("batch", acks),
+                            send_lock,
+                            version=_peer_version(),
                         )
                     except OSError:
                         break
-                    with wake:
-                        lanes.setdefault(session, deque()).append((key, payload))
-                        wake.notify_all()
-                elif kind == "artifact":
-                    _, session, signature, blob = message
-                    with fetch_lock:
-                        slot = fetch_slots.pop((session, signature), None)
-                    if slot is not None:
-                        slot.blob = blob
-                        slot.served = True
-                        slot.event.set()
-                elif kind == "close_session":
-                    # The coordinator drained the session and dropped it:
-                    # release its lane, cache and pending fetch slots so a
-                    # long-lived connection does not accumulate one set of
-                    # each per finished run.
-                    _, session = message
-                    with wake:
-                        lanes.pop(session, None)
-                    caches.pop(session, None)
-                    with fetch_lock:
-                        stale = [k for k in fetch_slots if k[0] == session]
-                        closed = [fetch_slots.pop(k) for k in stale]
-                    for slot in closed:
-                        slot.event.set()  # served stays False -> fetch fails typed
+                for m in inner:
+                    if m[0] == "task":
+                        _enqueue_task(m)
+                    else:
+                        _handle_control(m)
             stop.set()
             with wake:
                 wake.notify_all()  # unblock the executor loop
@@ -935,7 +1014,10 @@ class WorkerServer:
                         )
                     fetch_slots[(session, signature)] = slot
                 _send_message(
-                    sock, ("fetch", self.worker_id, session, signature), send_lock
+                    sock,
+                    ("fetch", self.worker_id, session, signature),
+                    send_lock,
+                    version=_peer_version(),
                 )
                 if not slot.event.wait(self.fetch_timeout):
                     with fetch_lock:
@@ -978,6 +1060,7 @@ class WorkerServer:
                             sock,
                             ("error", session, key, _picklable_error(key, exc)),
                             send_lock,
+                            version=_peer_version(),
                         )
                     except OSError:
                         if not fatal:
@@ -986,7 +1069,12 @@ class WorkerServer:
                         raise
                     continue
                 try:
-                    _send_message(sock, ("result", session, key, reply), send_lock)
+                    _send_message(
+                        sock,
+                        ("result", session, key, reply),
+                        send_lock,
+                        version=_peer_version(),
+                    )
                 except OSError:
                     raise  # coordinator gone; nobody to report to
                 except Exception as exc:  # noqa: BLE001 - e.g. reply over frame limit
@@ -997,6 +1085,7 @@ class WorkerServer:
                         sock,
                         ("error", session, key, OperatorError(key, f"result reply could not be framed: {exc}")),
                         send_lock,
+                        version=_peer_version(),
                     )
         finally:
             stop.set()
@@ -1083,7 +1172,7 @@ class _WorkerHandle:
 
     __slots__ = (
         "worker_id", "process", "pid", "sock", "send_lock", "alive",
-        "last_seen", "inflight", "address", "silence_timeout",
+        "last_seen", "inflight", "address", "silence_timeout", "protocol",
     )
 
     def __init__(self, worker_id: str):
@@ -1094,6 +1183,11 @@ class _WorkerHandle:
         self.send_lock = threading.Lock()
         self.alive = True
         self.last_seen = time.monotonic()
+        #: Negotiated wire protocol for this connection: the version the
+        #: worker stamped on its registration frame.  Every frame to the
+        #: worker goes out at this version, so a v3 worker receives
+        #: plain-pickle frames and never a ``batch`` envelope.
+        self.protocol = PROTOCOL_VERSION
         #: Dispatched-but-unfinished tasks keyed by ``(session_id, key)`` —
         #: node names are only unique within a run, and concurrent sessions
         #: routinely run the same workflow.
@@ -1129,7 +1223,13 @@ class DistributedExecutor(_OutOfProcessExecutor):
     :mod:`repro.storage.serialization`), **pipelined** up to
     ``pipeline_depth`` tasks per worker connection: while a worker executes
     task N the coordinator already serializes and frames task N+1 onto the
-    same socket, hiding the framing round trip on short tasks.  Workers ack
+    same socket, hiding the framing round trip on short tasks.  Since
+    protocol version 4 frames carry the canonical encoding and are
+    gather-written (``sendmsg``) so NumPy-backed payload buffers are never
+    copied into a contiguous frame, and small pipelined dispatches headed
+    for the same worker coalesce into one ``("batch", ...)`` frame (their
+    acks come back batched the same way); a worker that registered at v3
+    gets plain-pickle frames and no batching.  Workers ack
     each task on receipt (a dedicated reader thread acks even while a task
     is executing), heartbeat while idle or busy, and return the serialized
     ``(value, measured_seconds)`` reply, deserialized here before delivery
@@ -1487,7 +1587,12 @@ class DistributedExecutor(_OutOfProcessExecutor):
         for handle in handles:
             if handle.sock is not None and handle.address is None:
                 try:
-                    _send_message(handle.sock, ("shutdown",), handle.send_lock)
+                    _send_message(
+                        handle.sock,
+                        ("shutdown",),
+                        handle.send_lock,
+                        version=handle.protocol,
+                    )
                 except OSError:
                     pass
         for handle in handles:
@@ -1554,7 +1659,10 @@ class DistributedExecutor(_OutOfProcessExecutor):
         for handle in handles:
             try:
                 _send_message(
-                    handle.sock, ("close_session", state.session_id), handle.send_lock
+                    handle.sock,
+                    ("close_session", state.session_id),
+                    handle.send_lock,
+                    version=handle.protocol,
                 )
             except OSError:
                 pass  # worker vanished; its connection state dies with it
@@ -1754,11 +1862,12 @@ class DistributedExecutor(_OutOfProcessExecutor):
             # silent (e.g. a worker busy serving another coordinator) must
             # not wedge start() past its own deadline handling.
             sock.settimeout(self.connect_timeout)
-            message = _recv_message(sock)
+            received = recv_message(sock)
             sock.settimeout(None)
         except Exception:
             sock.close()
             raise
+        message, peer_version = received if received is not None else (None, PROTOCOL_VERSION)
         if not _is_registration(message):
             sock.close()
             raise ExecutionError(
@@ -1771,6 +1880,7 @@ class DistributedExecutor(_OutOfProcessExecutor):
         handle.sock = sock
         handle.pid = pid
         handle.address = address
+        handle.protocol = peer_version
         handle.silence_timeout = self._silence_timeout_for(announced_interval)
         handle.last_seen = time.monotonic()
         with self._cond:
@@ -1806,11 +1916,14 @@ class DistributedExecutor(_OutOfProcessExecutor):
             conn.settimeout(5.0)
             try:
                 conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                message = _recv_message(conn)
+                received = recv_message(conn)
                 conn.settimeout(None)
             except Exception:  # noqa: BLE001 - reject peers that talk garbage
                 conn.close()
                 continue
+            message, peer_version = (
+                received if received is not None else (None, PROTOCOL_VERSION)
+            )
             if not _is_registration(message):
                 conn.close()
                 continue
@@ -1821,6 +1934,7 @@ class DistributedExecutor(_OutOfProcessExecutor):
                 if known:
                     handle.sock = conn
                     handle.pid = pid
+                    handle.protocol = peer_version
                     handle.silence_timeout = self._silence_timeout_for(announced_interval)
                     handle.last_seen = time.monotonic()
                     self._cond.notify_all()
@@ -1845,6 +1959,12 @@ class DistributedExecutor(_OutOfProcessExecutor):
         just served rotates to the back — so concurrent runs multiplexed
         onto one fleet interleave fairly instead of queuing behind
         whichever run submitted first.
+
+        Small payloads (``<= _BATCH_MAX_TASK_BYTES``) headed for the same
+        v4 worker are coalesced into one ``("batch", (task, ...))`` frame,
+        up to the worker's remaining pipeline capacity: a depth-2 window of
+        short tasks costs one frame instead of two.  Large payloads, and
+        every frame to a v3 worker, ship individually.
         """
         while True:
             with self._cond:
@@ -1860,38 +1980,69 @@ class DistributedExecutor(_OutOfProcessExecutor):
                     self._cond.wait(timeout=0.5)
                 if self._stopping:
                     return
-                task.attempts += 1
-                task.acked = False
-                worker.inflight[(task.session.session_id, task.key)] = task
+                batch = [task]
+                if worker.protocol >= 4 and len(task.payload) <= _BATCH_MAX_TASK_BYTES:
+                    while len(worker.inflight) + len(batch) < self.pipeline_depth:
+                        extra = self._next_small_task_locked()
+                        if extra is None:
+                            break
+                        batch.append(extra)
+                for item in batch:
+                    item.attempts += 1
+                    item.acked = False
+                    worker.inflight[(item.session.session_id, item.key)] = item
+            frames = tuple(
+                ("task", item.session.session_id, item.key, item.payload)
+                for item in batch
+            )
             try:
                 _send_message(
                     worker.sock,
-                    ("task", task.session.session_id, task.key, task.payload),
+                    frames[0] if len(frames) == 1 else ("batch", frames),
                     worker.send_lock,
+                    version=worker.protocol,
                 )
             except OSError:
                 self._worker_failed(worker)
             except Exception as exc:  # noqa: BLE001 - e.g. unframeable payload
                 # The frame never left this process (say, a payload above the
                 # frame limit): that is a *task* failure, not a worker death —
-                # fail the task, keep the worker and the dispatch loop alive.
+                # fail the batch's tasks, keep the worker and the loop alive.
                 with self._cond:
-                    worker.inflight.pop((task.session.session_id, task.key), None)
+                    for item in batch:
+                        worker.inflight.pop((item.session.session_id, item.key), None)
                     self._cond.notify_all()
-                self._complete(
-                    task,
-                    None,
-                    ExecutionError(
-                        f"distributed task {task.key!r} could not be sent to "
-                        f"worker {worker.worker_id!r}: {exc}"
-                    ),
-                )
+                for item in batch:
+                    self._complete(
+                        item,
+                        None,
+                        ExecutionError(
+                            f"distributed task {item.key!r} could not be sent to "
+                            f"worker {worker.worker_id!r}: {exc}"
+                        ),
+                    )
 
     def _next_task_locked(self) -> Optional[_DistributedTask]:
         """Pop the next task round-robin across session lanes (lock held)."""
         for session_id in list(self._sessions):
             state = self._sessions[session_id]
             if state.queue:
+                self._sessions.move_to_end(session_id)
+                return state.queue.popleft()
+        return None
+
+    def _next_small_task_locked(self) -> Optional[_DistributedTask]:
+        """Pop the next task *only if* it is small enough to batch (lock held).
+
+        Follows the same round-robin order as :meth:`_next_task_locked`; a
+        large payload at the head stops the batch instead of being skipped,
+        so coalescing never reorders a session's FIFO lane.
+        """
+        for session_id in list(self._sessions):
+            state = self._sessions[session_id]
+            if state.queue:
+                if len(state.queue[0].payload) > _BATCH_MAX_TASK_BYTES:
+                    return None
                 self._sessions.move_to_end(session_id)
                 return state.queue.popleft()
         return None
@@ -1939,26 +2090,41 @@ class DistributedExecutor(_OutOfProcessExecutor):
 
         while True:
             try:
-                message = _recv_message(worker.sock, on_progress=_alive)
+                received = recv_message(worker.sock, on_progress=_alive)
             except Exception:  # noqa: BLE001 - treat any transport error as death
-                message = None
-            if message is None:
+                received = None
+            if received is None:
                 break
+            message, _version = received
             worker.last_seen = time.monotonic()
-            kind = message[0]
-            if kind == "ack":
-                with self._lock:
-                    task = worker.inflight.get((message[2], message[3]))
-                    if task is not None:
-                        task.acked = True
-            elif kind == "result":
-                self._task_finished(worker, message[1], message[2], reply=message[3])
-            elif kind == "error":
-                self._task_finished(worker, message[1], message[2], error=message[3])
-            elif kind == "fetch":
-                self._serve_fetch(worker, message[2], message[3])
-            # heartbeats only refresh last_seen, done above
+            try:
+                # A v4 worker batches its acks for a batched dispatch into one
+                # ("batch", ...) frame; unwrap and handle each inner message.
+                inner = message[1] if message[0] == "batch" else (message,)
+                for item in inner:
+                    self._handle_worker_message(worker, item)
+            except Exception:  # noqa: BLE001 - malformed message shape
+                # A decodable frame with a nonsense message shape means the
+                # peer is not speaking this protocol; treat it like any
+                # other transport failure instead of silently killing this
+                # receive thread and leaving the worker looking healthy.
+                break
         self._worker_failed(worker)
+
+    def _handle_worker_message(self, worker: _WorkerHandle, message: Any) -> None:
+        kind = message[0]
+        if kind == "ack":
+            with self._lock:
+                task = worker.inflight.get((message[2], message[3]))
+                if task is not None:
+                    task.acked = True
+        elif kind == "result":
+            self._task_finished(worker, message[1], message[2], reply=message[3])
+        elif kind == "error":
+            self._task_finished(worker, message[1], message[2], error=message[3])
+        elif kind == "fetch":
+            self._serve_fetch(worker, message[2], message[3])
+        # heartbeats only refresh last_seen, done by the receive loop
 
     def _serve_fetch(
         self, worker: _WorkerHandle, session_id: str, signature: str
@@ -2007,7 +2173,10 @@ class DistributedExecutor(_OutOfProcessExecutor):
                 blob = None
         try:
             _send_message(
-                worker.sock, ("artifact", session_id, signature, blob), worker.send_lock
+                worker.sock,
+                ("artifact", session_id, signature, blob),
+                worker.send_lock,
+                version=worker.protocol,
             )
         except OSError:
             pass  # worker death is handled by its receive loop / monitor
@@ -2017,6 +2186,7 @@ class DistributedExecutor(_OutOfProcessExecutor):
                     worker.sock,
                     ("artifact", session_id, signature, None),
                     worker.send_lock,
+                    version=worker.protocol,
                 )
             except OSError:
                 pass

@@ -9,7 +9,9 @@ coordinator reaches through
 serves coordinator *connections* one at a time and survives across them, so
 one long-lived process amortizes interpreter startup over many runs.
 
-Within a single connection the protocol (version 3) is session-multiplexed:
+Within a single connection the protocol (version 4: canonical zero-copy
+frame payloads and batch envelopes; v3 coordinators are answered at v3 —
+see ``repro/storage/serialization.py``) is session-multiplexed:
 every task, fetch and result frame carries the coordinator-side session id,
 so one coordinator — e.g. the ``repro serve`` daemon — can interleave tasks
 from several concurrent workflow runs over the same worker.  The worker

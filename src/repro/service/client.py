@@ -258,10 +258,12 @@ def assert_payloads_equivalent(
 ) -> None:
     """Assert a served payload matches a reference payload for the same spec.
 
-    Compares the canonical per-iteration views (already stripped of times
-    and storage bytes — the run-dependent part) plus the iteration-type
-    sequence.  Raises :class:`AssertionError` naming the first divergent
-    iteration and key, in the spirit of the equivalence harness.
+    Compares the canonical per-iteration views (stripped of times — the
+    run-dependent part — but *including* exact storage byte counts, which
+    canonical serialization keeps deterministic across the service's
+    worker processes) plus the iteration-type sequence.  Raises
+    :class:`AssertionError` naming the first divergent iteration and key,
+    in the spirit of the equivalence harness.
     """
     assert served["iteration_types"] == reference["iteration_types"], (
         f"iteration plans diverge: {served['iteration_types']} != "

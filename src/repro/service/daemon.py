@@ -57,10 +57,10 @@ from ..execution.clock import SimulatedCostModel
 from ..execution.equivalence import canonical_lifecycle
 from ..execution.executors import (
     DistributedExecutor,
-    _recv_message,
     _send_message,
     parse_worker_address,
 )
+from ..storage.serialization import PROTOCOL_VERSION, recv_message
 from ..experiments.runner import LifecycleResult, run_lifecycle
 from ..systems.helix import HelixSystem
 from ..workloads.base import get_workload
@@ -189,17 +189,17 @@ def build_system(spec: Dict[str, Any]) -> HelixSystem:
 def lifecycle_payload(result: LifecycleResult) -> Dict[str, Any]:
     """The JSON-serializable result payload of one served (or inline) run.
 
-    Times and storage bytes are excluded from the canonical iteration views
-    — they are the legitimately run-dependent part — so two payloads for
-    the same spec are equal exactly when the runs were equivalent "modulo
-    timing/memory".
+    Times are excluded from the canonical iteration views — they are the
+    legitimately run-dependent part — while exact storage byte counts
+    participate: the canonical serializer makes artifact sizes
+    deterministic across process boundaries, so two payloads for the same
+    spec are equal exactly when the runs were equivalent "modulo
+    timing/memory", stored bytes included.
     """
     return {
         "summary": result.summary(),
         "iteration_types": result.iteration_types(),
-        "iterations": canonical_lifecycle(
-            result.iterations, include_times=False, include_storage=False
-        ),
+        "iterations": canonical_lifecycle(result.iterations, include_times=False),
     }
 
 
@@ -241,10 +241,16 @@ class _RunRecord:
 
     __slots__ = (
         "run_id", "spec", "sock", "send_lock", "client_gone", "tenant",
-        "priority", "state",
+        "priority", "state", "protocol",
     )
 
-    def __init__(self, run_id: str, spec: Dict[str, Any], sock: socket.socket):
+    def __init__(
+        self,
+        run_id: str,
+        spec: Dict[str, Any],
+        sock: socket.socket,
+        protocol: int = PROTOCOL_VERSION,
+    ):
         self.run_id = run_id
         self.spec = spec
         self.sock = sock
@@ -253,13 +259,18 @@ class _RunRecord:
         self.tenant = spec.get("tenant", DEFAULT_TENANT)
         self.priority = int(spec.get("priority", PRIORITY_RANGE[0]))
         self.state = "queued"
+        #: Protocol version the client stamped on its submit frame; every
+        #: progress/terminal frame back to it is sent at this version (a
+        #: v3 client gets plain-pickle frames — same negotiated fallback
+        #: as the worker wire).
+        self.protocol = protocol
 
     def send(self, message: Tuple[Any, ...]) -> None:
         """Best-effort frame to the submitter; a vanished client is not fatal."""
         if self.client_gone:
             return
         try:
-            _send_message(self.sock, message, self.send_lock)
+            _send_message(self.sock, message, self.send_lock, version=self.protocol)
         except Exception:  # noqa: BLE001 - client gone; the run itself continues
             self.client_gone = True
 
@@ -559,14 +570,21 @@ class ServeDaemon:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         conn.settimeout(10.0)
         try:
-            message = _recv_message(conn)
+            received = recv_message(conn)
             conn.settimeout(None)
         except Exception:  # noqa: BLE001 - reject peers that talk garbage
             conn.close()
             return
+        message, peer_version = (
+            received if received is not None else (None, PROTOCOL_VERSION)
+        )
         if not (isinstance(message, tuple) and len(message) == 2 and message[0] == "submit"):
             try:
-                _send_message(conn, ("failed", "", "expected a (submit, spec) frame"))
+                _send_message(
+                    conn,
+                    ("failed", "", "expected a (submit, spec) frame"),
+                    version=peer_version,
+                )
             except Exception:  # noqa: BLE001 - best-effort refusal
                 pass
             conn.close()
@@ -575,12 +593,14 @@ class ServeDaemon:
             spec = validate_spec(message[1])
         except ExecutionError as exc:
             try:
-                _send_message(conn, ("failed", "", str(exc)))
+                _send_message(conn, ("failed", "", str(exc)), version=peer_version)
             except Exception:  # noqa: BLE001 - best-effort refusal
                 pass
             conn.close()
             return
-        record = _RunRecord(f"run-{next(self._run_seq)}", spec, conn)
+        record = _RunRecord(
+            f"run-{next(self._run_seq)}", spec, conn, protocol=peer_version
+        )
         # Check-and-queue under the admission lock: once stop() has drained
         # the scheduler (holding this lock), no record can slip in behind
         # the drain and leave its client blocked on a terminal frame that

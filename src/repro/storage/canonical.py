@@ -1,0 +1,873 @@
+"""Canonical binary serialization: deterministic, versioned, zero-copy capable.
+
+This module is the value-encoding layer underneath
+:func:`repro.storage.serialization.serialize`.  Its contract is *canonical
+form*: for every value built from the covered types, ``encode(x)`` yields the
+same bytes in every process and on every Python version of the CI matrix —
+dict entries are sorted by their encoded keys (insertion order never leaks
+into the bytes), sets are sorted by their encoded elements, integers use a
+minimal zigzag varint, floats are raw IEEE-754 bits, and NumPy arrays are a
+dtype descriptor plus their contiguous buffer.  Deterministic bytes are what
+let the executor-equivalence harness compare serialized store sizes with
+*exact equality* across the inline/thread/process/distributed strategies
+(pickle's memo-dependent output made sizes drift across a process boundary),
+and they are the precondition for content-addressed artifact storage
+(signature-as-address only works when the same value always has the same
+bytes).
+
+Covered types (explicit tags)
+-----------------------------
+``None``, ``bool``, ``int`` (arbitrary precision), ``float``, ``complex``,
+``str``, ``bytes``/``bytearray``, ``list``/``tuple``, ``set``/``frozenset``
+(element-sorted), ``dict`` (key-sorted), :class:`enum.Enum` members (by
+class + name), NumPy arrays (dtype descriptor + shape + order + raw buffer)
+and NumPy scalars, dataclass instances (class reference + field-name-sorted
+values), pandas ``Series``/``DataFrame`` when pandas is importable, and two
+generic object forms: classes with a ``__getstate__``/``__setstate__`` pair
+(e.g. :class:`~repro.storage.serialization.ArtifactRef`) and plain classes
+whose state is just ``__dict__``/``__slots__`` (feature vectors, data
+collections, fitted models).  Everything else — functions, exceptions,
+classes-as-values, objects with a custom ``__reduce__`` — falls back to an
+embedded pickle (protocol 5); fallback bytes round-trip correctly but are
+*not* guaranteed canonical, which is acceptable because materialized
+workflow artifacts are built from the covered types.
+
+Out-of-band buffers (zero-copy)
+-------------------------------
+:func:`encode_segments` returns the encoding as a list of byte segments:
+a fixed prefix, the tag body, and one segment per *out-of-band buffer* —
+the raw memory of every NumPy array (and any inline ``bytes`` blob) at or
+above :data:`OOB_MIN_BYTES`.  Array segments are read-only ``memoryview``\\s
+into the array's own buffer, so the transport can gather-write them
+(``socket.sendmsg``) without ever copying the payload into one big bytes
+object.  ``b"".join(encode_segments(x))`` *is* ``encode(x)``: the packed
+single-buffer form and the scattered zero-copy form are the same bytes,
+which is what lets a length-prefixed frame carry either.  ``decode`` slices
+buffers back out of the packed payload as memoryviews; arrays are copied
+into fresh writable memory by default (``copy_buffers=False`` keeps them as
+read-only zero-copy views for consumers that only read).
+
+Packed layout::
+
+    +----+---------+--------------+----------------------+-----------+------+---------+
+    | HC | version | nbufs varint | buffer-length varints| body len  | body | buffers |
+    +----+---------+--------------+----------------------+-----------+------+---------+
+
+Dict keys and set elements are always encoded *inline* (no out-of-band
+hoisting) so their sort order is a pure function of the value; buffer
+indices appear only in body positions whose order is already determined.
+
+Decoding untrusted data: the format embeds class references (imported on
+decode) and pickle fallbacks, so it inherits pickle's trust model — only
+decode payloads from the same trust domain, exactly like the store and the
+executor transport already require.  Malformed payloads (truncated body,
+unknown tag bytes, out-of-range buffer indices) raise a typed
+:class:`~repro.exceptions.ProtocolError` rather than crashing the consumer.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import importlib
+import pickle
+import struct
+import types
+from enum import Enum
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ProtocolError
+
+try:  # pragma: no cover - exercised only where pandas is installed
+    import pandas as _pd
+except Exception:  # noqa: BLE001 - pandas is an optional dependency
+    _pd = None
+
+__all__ = [
+    "CANONICAL_MAGIC",
+    "CANONICAL_VERSION",
+    "OOB_MIN_BYTES",
+    "encode",
+    "encode_segments",
+    "decode",
+    "is_canonical",
+]
+
+#: Two-byte marker distinguishing canonical payloads from legacy pickles
+#: (pickle protocol >= 2 always starts with ``b"\\x80"``).
+CANONICAL_MAGIC = b"HC"
+
+#: Version byte of the canonical value encoding.  Bump on any change to the
+#: tag set or their byte layouts.
+CANONICAL_VERSION = 1
+
+#: Buffers at or above this many bytes are hoisted out of the tag body into
+#: the out-of-band buffer section (one segment each, shipped zero-copy).
+#: The threshold is part of the canonical form — it decides byte layout —
+#: so it must never depend on runtime state.
+OOB_MIN_BYTES = 256
+
+_FLOAT = struct.Struct(">d")
+_COMPLEX = struct.Struct(">dd")
+_PICKLE_PROTOCOL = 5
+
+# Tag bytes.  Grouped by kind; values are arbitrary but frozen forever
+# (they are the wire format).
+_T_NONE = b"N"
+_T_TRUE = b"T"
+_T_FALSE = b"F"
+_T_INT = b"i"
+_T_FLOAT = b"f"
+_T_COMPLEX = b"c"
+_T_STR = b"s"
+_T_BYTES = b"b"
+_T_BYTEARRAY = b"y"
+_T_LIST = b"l"
+_T_TUPLE = b"t"
+_T_SET = b"e"
+_T_FROZENSET = b"z"
+_T_DICT = b"d"
+_T_NDARRAY = b"a"
+_T_NPSCALAR = b"g"
+_T_ENUM = b"E"
+_T_DATACLASS = b"D"
+_T_OBJ_STATE = b"O"
+_T_OBJ_DICT = b"o"
+_T_SERIES = b"S"
+_T_DATAFRAME = b"R"
+_T_PICKLE = b"P"
+
+_BLOB_INLINE = b"\x00"
+_BLOB_OOB = b"\x01"
+
+
+class _Cyclic(Exception):
+    """Internal: a container cycle was found; retry the value via pickle."""
+
+
+# ---------------------------------------------------------------------------
+# varints
+# ---------------------------------------------------------------------------
+def _write_uvarint(out: bytearray, value: int) -> None:
+    """Unsigned LEB128."""
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _zigzag(value: int) -> int:
+    """Arbitrary-precision zigzag fold: sign moves into the low bit."""
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+class _Reader:
+    """Bounds-checked cursor over the packed body."""
+
+    __slots__ = ("data", "pos", "end")
+
+    def __init__(self, data: memoryview, start: int, end: int):
+        self.data = data
+        self.pos = start
+        self.end = end
+
+    def take(self, n: int) -> memoryview:
+        if n < 0 or self.pos + n > self.end:
+            raise ProtocolError(
+                f"canonical payload truncated: needed {n} bytes at offset "
+                f"{self.pos}, body ends at {self.end}"
+            )
+        view = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return view
+
+    def byte(self) -> int:
+        return self.take(1)[0]
+
+    def uvarint(self) -> int:
+        # Termination is bounded by take(): a run of continuation bytes
+        # cannot outlive the body without raising a truncation error.
+        shift = 0
+        result = 0
+        while True:
+            byte = self.byte()
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+
+    def svarint(self) -> int:
+        raw = self.uvarint()
+        return (raw >> 1) if not raw & 1 else -((raw + 1) >> 1)
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+class _Encoder:
+    __slots__ = ("buffers", "allow_oob", "_stack")
+
+    def __init__(self, allow_oob: bool):
+        self.buffers: List[Union[bytes, memoryview]] = []
+        self.allow_oob = allow_oob
+        self._stack: set = set()
+
+    # -- helpers -----------------------------------------------------------
+    def _blob(self, out: bytearray, data: Union[bytes, memoryview], inline_only: bool = False) -> None:
+        """A length-delimited byte blob, inline or hoisted out-of-band."""
+        if self.allow_oob and not inline_only and len(data) >= OOB_MIN_BYTES:
+            out += _BLOB_OOB
+            _write_uvarint(out, len(self.buffers))
+            self.buffers.append(data)
+        else:
+            out += _BLOB_INLINE
+            _write_uvarint(out, len(data))
+            out += data
+
+    def _str(self, out: bytearray, text: str) -> None:
+        data = text.encode("utf-8", "surrogatepass")
+        _write_uvarint(out, len(data))
+        out += data
+
+    def _classref(self, out: bytearray, cls: type) -> None:
+        self._str(out, cls.__module__)
+        self._str(out, cls.__qualname__)
+
+    def _inline_bytes(self, value: Any) -> bytes:
+        """Encode ``value`` with out-of-band hoisting disabled (sort keys)."""
+        sub = _Encoder(allow_oob=False)
+        sub._stack = self._stack  # share cycle detection across the nesting
+        out = bytearray()
+        sub.encode_value(out, value)
+        return bytes(out)
+
+    def _pickle(self, out: bytearray, value: Any) -> None:
+        """Protocol-5 pickle fallback with out-of-band ``PickleBuffer``\\s."""
+        picked: List[Union[bytes, memoryview]] = []
+
+        def _grab(pb: "pickle.PickleBuffer") -> bool:
+            try:
+                picked.append(pb.raw())
+            except BufferError:  # non-contiguous buffer: materialize it
+                picked.append(bytes(pb))
+            return False  # False = do not also serialize it in-band
+
+        if self.allow_oob:
+            body = pickle.dumps(value, protocol=_PICKLE_PROTOCOL, buffer_callback=_grab)
+        else:
+            body = pickle.dumps(value, protocol=_PICKLE_PROTOCOL)
+        out += _T_PICKLE
+        _write_uvarint(out, len(picked))
+        for chunk in picked:
+            self._blob(out, chunk)
+        self._blob(out, body)
+
+    # -- main dispatch -----------------------------------------------------
+    def encode_value(self, out: bytearray, value: Any) -> None:  # noqa: C901
+        kind = type(value)
+        if value is None:
+            out += _T_NONE
+        elif kind is bool:
+            out += _T_TRUE if value else _T_FALSE
+        elif kind is int:
+            out += _T_INT
+            _write_uvarint(out, _zigzag(value))
+        elif kind is float:
+            out += _T_FLOAT
+            out += _FLOAT.pack(value)
+        elif kind is complex:
+            out += _T_COMPLEX
+            out += _COMPLEX.pack(value.real, value.imag)
+        elif kind is str:
+            out += _T_STR
+            self._str(out, value)
+        elif kind is bytes:
+            out += _T_BYTES
+            self._blob(out, value)
+        elif kind is bytearray:
+            out += _T_BYTEARRAY
+            self._blob(out, bytes(value))
+        elif kind is list or kind is tuple:
+            self._container(out, _T_LIST if kind is list else _T_TUPLE, value)
+        elif kind is set or kind is frozenset:
+            out += _T_SET if kind is set else _T_FROZENSET
+            encoded = sorted(self._inline_bytes(item) for item in value)
+            _write_uvarint(out, len(encoded))
+            for item in encoded:
+                out += item
+        elif kind is dict:
+            self._dict(out, value)
+        elif isinstance(value, np.ndarray):
+            self._ndarray(out, value)
+        elif isinstance(value, np.generic):
+            out += _T_NPSCALAR
+            self._str(out, _dtype_descr(value.dtype))
+            self._blob(out, value.tobytes(), inline_only=True)
+        elif isinstance(value, Enum):
+            if _importable(kind):
+                out += _T_ENUM
+                self._classref(out, kind)
+                self._str(out, value.name)
+            else:
+                self._pickle(out, value)
+        elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+            self._dataclass(out, value)
+        elif _pd is not None and isinstance(value, _pd.Series):
+            self._series(out, value)
+        elif _pd is not None and isinstance(value, _pd.DataFrame):
+            self._dataframe(out, value)
+        else:
+            state = _object_form(value)
+            if state is None:
+                self._pickle(out, value)
+            else:
+                self._object(out, value, state)
+
+    # -- composite forms ---------------------------------------------------
+    def _guard(self, value: Any) -> int:
+        marker = id(value)
+        if marker in self._stack:
+            raise _Cyclic()
+        self._stack.add(marker)
+        return marker
+
+    def _container(self, out: bytearray, tag: bytes, value: Any) -> None:
+        marker = self._guard(value)
+        try:
+            out += tag
+            _write_uvarint(out, len(value))
+            for item in value:
+                self.encode_value(out, item)
+        finally:
+            self._stack.discard(marker)
+
+    def _dict(self, out: bytearray, value: Dict[Any, Any]) -> None:
+        marker = self._guard(value)
+        try:
+            out += _T_DICT
+            _write_uvarint(out, len(value))
+            # Keys encode inline (never out-of-band) so the sort order is a
+            # pure function of the key values; the values are then encoded
+            # in that order, which pins buffer indices deterministically.
+            pairs = sorted(
+                (self._inline_bytes(key), key) for key in value
+            )
+            for key_bytes, key in pairs:
+                out += key_bytes
+                self.encode_value(out, value[key])
+        finally:
+            self._stack.discard(marker)
+
+    def _ndarray(self, out: bytearray, value: np.ndarray) -> None:
+        if value.dtype.hasobject:
+            # Object arrays have no raw-buffer form; their elements are
+            # arbitrary Python objects, so the whole array rides the
+            # pickle fallback.
+            self._pickle(out, value)
+            return
+        if value.flags.c_contiguous:
+            array, order = value, b"C"
+        elif value.flags.f_contiguous:
+            array, order = value, b"F"
+        else:
+            # One unavoidable copy for strided views; note ascontiguousarray
+            # would also promote 0-d arrays to 1-d, hence the ordering above.
+            array, order = np.ascontiguousarray(value), b"C"
+        out += _T_NDARRAY
+        self._str(out, _dtype_descr(array.dtype))
+        out += order
+        _write_uvarint(out, array.ndim)
+        for dim in array.shape:
+            _write_uvarint(out, dim)
+        # reshape(-1) flattens without copying (the source is contiguous in
+        # the stored order), and a 1-D memoryview casts to bytes cleanly —
+        # including for 0-d arrays, which reshape to one element.
+        flat = (array if order == b"C" else array.T).reshape(-1)
+        view = memoryview(flat).cast("B") if array.nbytes else b""
+        self._blob(out, view)
+
+    def _dataclass(self, out: bytearray, value: Any) -> None:
+        cls = type(value)
+        fields = dataclasses.fields(value)
+        extra = getattr(value, "__dict__", None)
+        clean = extra is None or set(extra) <= {f.name for f in fields}
+        if not (_importable(cls) and clean):
+            # Ad-hoc attributes beyond the declared fields (or a locally
+            # defined class) would be dropped by field-wise reconstruction.
+            self._pickle(out, value)
+            return
+        marker = self._guard(value)
+        try:
+            out += _T_DATACLASS
+            self._classref(out, cls)
+            _write_uvarint(out, len(fields))
+            for spec in sorted(fields, key=lambda f: f.name):
+                self._str(out, spec.name)
+                self.encode_value(out, getattr(value, spec.name))
+        finally:
+            self._stack.discard(marker)
+
+    def _object(self, out: bytearray, value: Any, state: Tuple[bytes, Any]) -> None:
+        tag, payload = state
+        marker = self._guard(value)
+        try:
+            out += tag
+            self._classref(out, type(value))
+            self.encode_value(out, payload)
+        finally:
+            self._stack.discard(marker)
+
+    def _series(self, out: bytearray, value: Any) -> None:  # pragma: no cover
+        plain = _plain_pandas_index(value.index)
+        if plain is None or value.dtype.hasobject and _has_exotic_objects(value.to_numpy()):
+            self._pickle(out, value)
+            return
+        out += _T_SERIES
+        self.encode_value(out, value.name)
+        self.encode_value(out, plain)
+        self.encode_value(out, str(value.dtype))
+        self.encode_value(out, np.asarray(value.to_numpy()))
+
+    def _dataframe(self, out: bytearray, value: Any) -> None:  # pragma: no cover
+        plain = _plain_pandas_index(value.index)
+        if plain is None or _plain_pandas_index(value.columns) is None:
+            self._pickle(out, value)
+            return
+        out += _T_DATAFRAME
+        self.encode_value(out, plain)
+        marker = self._guard(value)
+        try:
+            columns = list(value.columns)
+            _write_uvarint(out, len(columns))
+            for column in columns:
+                self.encode_value(out, column)
+                self.encode_value(out, str(value[column].dtype))
+                self.encode_value(out, np.asarray(value[column].to_numpy()))
+        finally:
+            self._stack.discard(marker)
+
+
+def _dtype_descr(dtype: np.dtype) -> str:
+    """A stable textual dtype descriptor round-tripping through ``np.dtype``."""
+    descr = np.lib.format.dtype_to_descr(dtype)
+    return descr if isinstance(descr, str) else repr(descr)
+
+
+def _has_exotic_objects(array: np.ndarray) -> bool:  # pragma: no cover
+    return any(not isinstance(item, (str, bytes, int, float, bool, type(None))) for item in array.flat)
+
+
+def _plain_pandas_index(index: Any) -> Optional[list]:  # pragma: no cover
+    """A pandas index reduced to a plain list, or ``None`` when it is exotic."""
+    if _pd is None or isinstance(index, _pd.MultiIndex):
+        return None
+    try:
+        return [item for item in index]
+    except Exception:  # noqa: BLE001 - anything unexpected -> pickle fallback
+        return None
+
+
+_DISPATCH_BLOCKLIST = (
+    type,
+    types.FunctionType,
+    types.BuiltinFunctionType,
+    types.MethodType,
+    types.ModuleType,
+    type(np.ndarray.sum),  # method descriptors
+)
+
+
+def _overrides(cls: type, name: str) -> bool:
+    return getattr(cls, name, None) is not getattr(object, name, None)
+
+
+def _importable(cls: type) -> bool:
+    """Whether a class reference can be resolved on decode (no locals)."""
+    if "<locals>" in cls.__qualname__:
+        return False
+    try:
+        module = importlib.import_module(cls.__module__)
+    except Exception:  # noqa: BLE001 - unimportable module
+        return False
+    return _resolve_qualname(module, cls.__qualname__) is cls
+
+
+def _resolve_qualname(module: Any, qualname: str) -> Any:
+    target = module
+    for part in qualname.split("."):
+        target = getattr(target, part, None)
+        if target is None:
+            return None
+    return target
+
+
+def _object_form(value: Any) -> Optional[Tuple[bytes, Any]]:
+    """Generic object encoding: ``(tag, state)`` or ``None`` for pickle.
+
+    Two safe shapes:
+
+    * a ``__getstate__``/``__setstate__`` pair with no custom reduce — the
+      class manages its own state contract (:class:`ArtifactRef`);
+    * a plain class with no pickle customization at all, whose state is
+      exactly ``__dict__`` plus set ``__slots__`` — encoded as a sorted
+      attribute dict (feature vectors, data collections, fitted models).
+
+    Anything with a custom ``__reduce__``/``__reduce_ex__``/
+    ``__getnewargs__`` (exceptions, functions, rngs) keeps pickle's exact
+    semantics via the fallback.
+    """
+    cls = type(value)
+    if isinstance(value, _DISPATCH_BLOCKLIST) or isinstance(value, BaseException):
+        return None
+    if _overrides(cls, "__reduce__") or _overrides(cls, "__reduce_ex__"):
+        return None
+    if _overrides(cls, "__getnewargs__") or _overrides(cls, "__getnewargs_ex__"):
+        return None
+    if not _importable(cls):
+        return None
+    has_getstate = _overrides(cls, "__getstate__")
+    has_setstate = _overrides(cls, "__setstate__")
+    if has_getstate or has_setstate:
+        if not (has_getstate and has_setstate):
+            return None  # half a state contract: let pickle sort it out
+        return _T_OBJ_STATE, value.__getstate__()
+    state: Dict[str, Any] = {}
+    found = False
+    instance_dict = getattr(value, "__dict__", None)
+    if isinstance(instance_dict, dict):
+        state.update(instance_dict)
+        found = True
+    for klass in cls.__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            if slot in ("__dict__", "__weakref__"):
+                continue
+            found = True
+            try:
+                state[slot] = getattr(value, slot)
+            except AttributeError:
+                pass  # unset slot: absent from the state, like pickle
+    if not found:
+        return None
+    return _T_OBJ_DICT, state
+
+
+def encode_segments(value: Any) -> List[Union[bytes, memoryview]]:
+    """Encode ``value`` as ``[prefix, body, *buffers]`` byte segments.
+
+    ``b"".join(segments)`` equals :func:`encode`'s packed form; buffer
+    segments at index 2+ are the out-of-band buffers (NumPy array memory as
+    read-only memoryviews — zero-copy — plus large ``bytes`` blobs and
+    pickle-fallback ``PickleBuffer`` contents).  The caller must finish
+    sending/joining the segments before mutating any source array.
+    """
+    encoder = _Encoder(allow_oob=True)
+    body = bytearray()
+    try:
+        encoder.encode_value(body, value)
+    except _Cyclic:
+        # Self-referential containers need pickle's memo machinery; encode
+        # the whole value as one fallback blob (correct, just not canonical
+        # — cyclic values do not occur in materialized artifacts).
+        encoder = _Encoder(allow_oob=True)
+        body = bytearray()
+        encoder._pickle(body, value)
+    buffers = [
+        buf if isinstance(buf, memoryview) else memoryview(buf)
+        for buf in encoder.buffers
+    ]
+    prefix = bytearray()
+    prefix += CANONICAL_MAGIC
+    prefix.append(CANONICAL_VERSION)
+    _write_uvarint(prefix, len(buffers))
+    for buf in buffers:
+        _write_uvarint(prefix, len(buf))
+    _write_uvarint(prefix, len(body))
+    return [bytes(prefix), bytes(body), *buffers]
+
+
+def encode(value: Any) -> bytes:
+    """Packed canonical encoding (a single ``bytes`` object)."""
+    return b"".join(encode_segments(value))
+
+
+def is_canonical(payload: Union[bytes, bytearray, memoryview]) -> bool:
+    """Whether ``payload`` starts with the canonical magic prefix."""
+    return bytes(payload[:2]) == CANONICAL_MAGIC
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+class _Decoder:
+    __slots__ = ("buffers", "copy_buffers")
+
+    def __init__(self, buffers: List[memoryview], copy_buffers: bool):
+        self.buffers = buffers
+        self.copy_buffers = copy_buffers
+
+    def _blob(self, reader: _Reader) -> memoryview:
+        flag = reader.take(1)
+        if flag == _BLOB_INLINE:
+            return reader.take(reader.uvarint())
+        if flag == _BLOB_OOB:
+            index = reader.uvarint()
+            if index >= len(self.buffers):
+                raise ProtocolError(
+                    f"canonical payload references out-of-band buffer "
+                    f"{index} but only {len(self.buffers)} are present"
+                )
+            return self.buffers[index]
+        raise ProtocolError(
+            f"canonical payload has an invalid blob flag 0x{flag[0]:02x}"
+        )
+
+    def _str(self, reader: _Reader) -> str:
+        return bytes(reader.take(reader.uvarint())).decode("utf-8", "surrogatepass")
+
+    def _class(self, reader: _Reader) -> type:
+        module_name = self._str(reader)
+        qualname = self._str(reader)
+        try:
+            module = importlib.import_module(module_name)
+        except Exception as exc:  # noqa: BLE001 - typed decode failure
+            raise ProtocolError(
+                f"canonical payload references unimportable module "
+                f"{module_name!r}: {exc}"
+            ) from exc
+        target = _resolve_qualname(module, qualname)
+        if not isinstance(target, type):
+            raise ProtocolError(
+                f"canonical payload references {module_name}:{qualname}, "
+                f"which does not resolve to a class"
+            )
+        return target
+
+    def decode_value(self, reader: _Reader) -> Any:  # noqa: C901
+        tag = bytes(reader.take(1))
+        if tag == _T_NONE:
+            return None
+        if tag == _T_TRUE:
+            return True
+        if tag == _T_FALSE:
+            return False
+        if tag == _T_INT:
+            return reader.svarint()
+        if tag == _T_FLOAT:
+            return _FLOAT.unpack(reader.take(_FLOAT.size))[0]
+        if tag == _T_COMPLEX:
+            real, imag = _COMPLEX.unpack(reader.take(_COMPLEX.size))
+            return complex(real, imag)
+        if tag == _T_STR:
+            return self._str(reader)
+        if tag == _T_BYTES:
+            return bytes(self._blob(reader))
+        if tag == _T_BYTEARRAY:
+            return bytearray(self._blob(reader))
+        if tag == _T_LIST:
+            return [self.decode_value(reader) for _ in range(reader.uvarint())]
+        if tag == _T_TUPLE:
+            return tuple(self.decode_value(reader) for _ in range(reader.uvarint()))
+        if tag == _T_SET:
+            return {self.decode_value(reader) for _ in range(reader.uvarint())}
+        if tag == _T_FROZENSET:
+            return frozenset(
+                self.decode_value(reader) for _ in range(reader.uvarint())
+            )
+        if tag == _T_DICT:
+            return {
+                self.decode_value(reader): self.decode_value(reader)
+                for _ in range(reader.uvarint())
+            }
+        if tag == _T_NDARRAY:
+            return self._ndarray(reader)
+        if tag == _T_NPSCALAR:
+            dtype = self._dtype(self._str(reader))
+            data = self._blob(reader)
+            return np.frombuffer(data, dtype=dtype)[0]
+        if tag == _T_ENUM:
+            cls = self._class(reader)
+            name = self._str(reader)
+            try:
+                return cls[name]
+            except KeyError as exc:
+                raise ProtocolError(
+                    f"canonical payload names unknown enum member "
+                    f"{cls.__qualname__}.{name}"
+                ) from exc
+        if tag == _T_DATACLASS:
+            return self._dataclass(reader)
+        if tag == _T_OBJ_STATE:
+            cls = self._class(reader)
+            state = self.decode_value(reader)
+            instance = cls.__new__(cls)
+            instance.__setstate__(state)
+            return instance
+        if tag == _T_OBJ_DICT:
+            cls = self._class(reader)
+            state = self.decode_value(reader)
+            instance = cls.__new__(cls)
+            for name, attr in state.items():
+                object.__setattr__(instance, name, attr)
+            return instance
+        if tag == _T_SERIES:
+            return self._series(reader)
+        if tag == _T_DATAFRAME:
+            return self._dataframe(reader)
+        if tag == _T_PICKLE:
+            count = reader.uvarint()
+            picked = [self._blob(reader) for _ in range(count)]
+            body = self._blob(reader)
+            return pickle.loads(bytes(body), buffers=picked)
+        raise ProtocolError(
+            f"canonical payload has unknown type tag 0x{tag[0]:02x} "
+            f"(version skew or corruption)"
+        )
+
+    def _dtype(self, descr: str) -> np.dtype:
+        try:
+            if descr.startswith("["):
+                # Structured dtype descriptor stored as its list repr;
+                # literal_eval only admits constants/lists/tuples.
+                return np.dtype(ast.literal_eval(descr))
+            return np.dtype(descr)
+        except Exception as exc:  # noqa: BLE001 - typed decode failure
+            raise ProtocolError(
+                f"canonical payload carries invalid dtype descriptor {descr!r}"
+            ) from exc
+
+    def _ndarray(self, reader: _Reader) -> np.ndarray:
+        dtype = self._dtype(self._str(reader))
+        order = bytes(reader.take(1))
+        if order not in (b"C", b"F"):
+            raise ProtocolError(
+                f"canonical ndarray has invalid order byte {order!r}"
+            )
+        ndim = reader.uvarint()
+        shape = tuple(reader.uvarint() for _ in range(ndim))
+        data = self._blob(reader)
+        count = 1
+        for dim in shape:
+            count *= dim
+        if dtype.itemsize and len(data) != count * dtype.itemsize:
+            raise ProtocolError(
+                f"canonical ndarray of shape {shape} dtype {dtype} expects "
+                f"{count * dtype.itemsize} buffer bytes, got {len(data)}"
+            )
+        flat = np.frombuffer(data, dtype=dtype)
+        if order == b"C":
+            array = flat.reshape(shape)
+        else:
+            array = flat.reshape(tuple(reversed(shape))).T
+        if self.copy_buffers:
+            # order="K" keeps the C/F memory layout, so a decoded value
+            # re-encodes to the same bytes (round-trip stability).
+            return array.copy(order="K")
+        return array  # zero-copy read-only view into the payload
+
+    def _dataclass(self, reader: _Reader) -> Any:
+        cls = self._class(reader)
+        count = reader.uvarint()
+        instance = cls.__new__(cls)
+        for _ in range(count):
+            name = self._str(reader)
+            # object.__setattr__ also serves frozen and slotted dataclasses.
+            object.__setattr__(instance, name, self.decode_value(reader))
+        return instance
+
+    def _series(self, reader: _Reader) -> Any:
+        if _pd is None:
+            raise ProtocolError(
+                "canonical payload carries a pandas Series but pandas is "
+                "not installed in this process"
+            )
+        name = self.decode_value(reader)
+        index = self.decode_value(reader)
+        dtype = self.decode_value(reader)
+        values = self.decode_value(reader)
+        return _pd.Series(values, index=index, name=name, dtype=dtype)
+
+    def _dataframe(self, reader: _Reader) -> Any:
+        if _pd is None:
+            raise ProtocolError(
+                "canonical payload carries a pandas DataFrame but pandas is "
+                "not installed in this process"
+            )
+        index = self.decode_value(reader)
+        count = reader.uvarint()
+        columns = {}
+        order = []
+        for _ in range(count):
+            column = self.decode_value(reader)
+            dtype = self.decode_value(reader)
+            values = self.decode_value(reader)
+            columns[column] = _pd.Series(values, index=index, dtype=dtype)
+            order.append(column)
+        frame = _pd.DataFrame(columns, index=index)
+        return frame[order] if order else frame
+
+
+def decode(
+    payload: Union[bytes, bytearray, memoryview], copy_buffers: bool = True
+) -> Any:
+    """Inverse of :func:`encode` (accepts the packed single-buffer form).
+
+    ``copy_buffers=False`` reconstructs NumPy arrays as read-only zero-copy
+    views into ``payload`` — the caller must keep the payload alive and must
+    not need to mutate the arrays.  The default copies array data into
+    fresh writable memory, preserving each array's C/F layout so re-encoding
+    a decoded value reproduces the original bytes.
+
+    Raises :class:`~repro.exceptions.ProtocolError` on truncated payloads,
+    unknown type tags, invalid buffer references, or a bad magic/version
+    prefix.
+    """
+    view = memoryview(payload)
+    if view.ndim != 1 or view.format != "B":
+        view = view.cast("B")
+    if len(view) < 3:
+        raise ProtocolError(
+            f"canonical payload of {len(view)} bytes is shorter than the "
+            f"magic + version prefix"
+        )
+    if bytes(view[:2]) != CANONICAL_MAGIC:
+        raise ProtocolError(
+            f"bad canonical magic {bytes(view[:2])!r} (expected "
+            f"{CANONICAL_MAGIC!r})"
+        )
+    if view[2] != CANONICAL_VERSION:
+        raise ProtocolError(
+            f"canonical encoding version mismatch: payload is version "
+            f"{view[2]}, this process decodes version {CANONICAL_VERSION}"
+        )
+    reader = _Reader(view, 3, len(view))
+    buffer_count = reader.uvarint()
+    lengths = [reader.uvarint() for _ in range(buffer_count)]
+    body_len = reader.uvarint()
+    body_start = reader.pos
+    body_end = body_start + body_len
+    expected = body_end + sum(lengths)
+    if expected != len(view):
+        raise ProtocolError(
+            f"canonical payload declares {expected} bytes but carries "
+            f"{len(view)}"
+        )
+    buffers: List[memoryview] = []
+    offset = body_end
+    for length in lengths:
+        buffers.append(view[offset : offset + length])
+        offset += length
+    decoder = _Decoder(buffers, copy_buffers=copy_buffers)
+    body = _Reader(view, body_start, body_end)
+    value = decoder.decode_value(body)
+    if body.pos != body_end:
+        raise ProtocolError(
+            f"canonical payload has {body_end - body.pos} trailing body "
+            f"bytes after the value"
+        )
+    return value

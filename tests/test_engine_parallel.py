@@ -104,11 +104,60 @@ class TestExecutorEquivalence:
         dag = make_cpu_dag(branches=4, depth=2, spin=1_000)
         assert_executors_equivalent(dag)
 
-    def test_matrix_accepts_include_storage_knob(self):
-        """The documented recipe for real workloads — exclude exact
-        serialized sizes — must plumb through the matrix harness."""
+    def test_matrix_compares_storage_exactly(self):
+        """The tolerance knobs are gone: storage stats always participate,
+        and a run with divergent storage bytes must fail the harness."""
+        from repro.execution.equivalence import run_executor_matrix
+        from repro.execution.equivalence import (
+            assert_executor_matrix_equivalent,
+        )
+
         dag = make_wide_dag(branches=2, depth=1)
-        assert_executors_equivalent(dag, include_storage=False)
+        rigs, runs = assert_executors_equivalent(dag)
+        with pytest.raises(TypeError):
+            assert_executors_equivalent(dag, include_storage=False)
+        # Corrupt one candidate's storage statistic: exact comparison
+        # must report the storage_bytes field by name.
+        victim = next(name for name in runs if name != "inline")
+        runs[victim][3].storage_bytes += 1
+        with pytest.raises(AssertionError, match="storage_bytes"):
+            assert_executor_matrix_equivalent(rigs, runs)
+
+    def test_harness_catches_a_nondeterministic_encoder(self, monkeypatch):
+        """Bit-equality is load-bearing: if the encoder ever stops being
+        canonical (here: an injected encoder whose output grows with every
+        call), two otherwise identical runs stop agreeing on serialized
+        sizes and the harness must fail loudly instead of papering over it
+        with a tolerance."""
+        import repro.storage.store as store_module
+
+        real_serialize = store_module.serialize
+        real_deserialize = store_module.deserialize
+        calls = {"count": 0}
+
+        def drifting(value):
+            calls["count"] += 1
+            return real_serialize(("__drift__", "x" * calls["count"], value))
+
+        def unwrapping(payload):
+            value = real_deserialize(payload)
+            if isinstance(value, tuple) and len(value) == 3 and value[0] == "__drift__":
+                return value[2]
+            return value
+
+        monkeypatch.setattr(store_module, "serialize", drifting)
+        monkeypatch.setattr(store_module, "deserialize", unwrapping)
+        dag = make_wide_dag(branches=2, depth=1)
+        signatures = compute_node_signatures(dag)
+        reference = ExecutorRig("inline")
+        candidate = ExecutorRig("inline")
+        _, reference_stats = reference.run(dag, signatures, forced=dag.node_names)
+        _, candidate_stats = candidate.run(dag, signatures, forced=dag.node_names)
+        assert calls["count"] > 0  # the drifting encoder actually ran
+        with pytest.raises(AssertionError, match="node_sizes|storage_bytes"):
+            assert_equivalent_runs(
+                reference_stats, candidate_stats, include_times=False
+            )
 
     def test_second_iteration_has_mixed_states(self):
         """Sanity-check the harness itself: iteration 1 actually mixes states."""

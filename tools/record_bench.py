@@ -42,6 +42,10 @@ SNAPSHOTS: Dict[str, Dict[str, List[str]]] = {
         "script": ["benchmarks/bench_fig7_scalability.py"],
         "args": ["--smoke", "--executor", "distributed"],
     },
+    "serialization_micro": {
+        "script": ["benchmarks/bench_serialization_micro.py"],
+        "args": ["--smoke"],
+    },
 }
 
 
