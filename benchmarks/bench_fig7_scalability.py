@@ -29,11 +29,14 @@ pytest-benchmark; ``--smoke`` shrinks the DAGs for CI and ``--executor``
 selects the latency (thread), CPU (process), distributed, or all sections.
 The distributed section additionally reports depth-2 **pipelined dispatch**
 vs one-task-per-worker on short latency-bound tasks (report-only — the win
-rides on the framing round trip) and, with ``--workers``, times pre-started
-remote workers (``python -m repro.execution.worker``) instead of the local
-spawn pool (report-only: remote workers share CI's cores but pay connect +
-framing per task).  ``--json`` dumps every section's measurements for the
-CI artifact upload.
+rides on the framing round trip), an **artifact plane** section measuring
+coordinator bytes-on-wire with worker-to-worker transfer on vs off across
+two same-seed served runs (report-only; see ``docs/artifacts.md``) and,
+with ``--workers``, times pre-started remote workers
+(``python -m repro.execution.worker``) instead of the local spawn pool
+(report-only: remote workers share CI's cores but pay connect + framing
+per task).  ``--json`` dumps every section's measurements for the CI
+artifact upload.
 """
 
 from __future__ import annotations
@@ -309,6 +312,57 @@ def run_pipeline_comparison(
     }
 
 
+def run_artifact_plane_report(smoke: bool = False) -> Dict[str, float]:
+    """Coordinator bytes-on-wire saved by the content-addressed artifact plane.
+
+    Serves the same census spec twice over one two-worker fleet — identical
+    seeds produce identical artifact signatures, so the second run can
+    resolve its store-resident inputs from the fleet's cache tier or a peer
+    worker (docs/artifacts.md) — then repeats the pair with the plane off:
+    ``peer_fetch`` disabled and the worker cache tier squeezed to its
+    1-byte floor, so every artifact byte routes through the coordinator on
+    every run.  The difference in the coordinator's ``fetch_bytes_served``
+    is the wire traffic the plane absorbed.  **Report-only**: reuse counts depend on
+    which workers the runs' tasks land on, so no bar is enforced (both
+    configurations' payloads are still checked equivalent elsewhere — the
+    serve smoke and tests/test_service.py).
+    """
+    from repro.service.client import ServiceClient
+    from repro.service.daemon import ServeDaemon
+
+    spec = {
+        "workload": "census",
+        "iterations": 2,
+        "scale": 0.1 if smoke else 0.25,
+        "seed": SEED,
+    }
+    planes: Dict[str, Dict[str, float]] = {}
+    for label, peer_fetch in (("plane_on", True), ("plane_off", False)):
+        with ServeDaemon(
+            max_workers=2,
+            max_concurrent_runs=2,
+            peer_fetch=peer_fetch,
+            worker_cache_bytes=None if peer_fetch else 1,
+        ) as daemon:
+            client = ServiceClient(daemon.address)
+            client.submit(dict(spec)).result()
+            client.submit(dict(spec)).result()  # same seed: same signatures
+        planes[label] = daemon.stats()["artifact_plane"]
+    on, off = planes["plane_on"], planes["plane_off"]
+    return {
+        "coordinator_bytes_plane_on": float(on.get("fetch_bytes_served", 0)),
+        "coordinator_bytes_plane_off": float(off.get("fetch_bytes_served", 0)),
+        "coordinator_bytes_saved": float(
+            off.get("fetch_bytes_served", 0) - on.get("fetch_bytes_served", 0)
+        ),
+        "coordinator_fetches_plane_on": float(on.get("fetches_served", 0)),
+        "coordinator_fetches_plane_off": float(off.get("fetches_served", 0)),
+        "peer_fetches": float(on.get("peer_fetches", 0)),
+        "cross_session_hits": float(on.get("cross_session_hits", 0)),
+        "cache_hits": float(on.get("cache_hits", 0)),
+    }
+
+
 def _cpu_process_bar(smoke: bool = False) -> Optional[float]:
     """Process-executor speedup bar on the CPU-bound DAG, or None to skip.
 
@@ -526,6 +580,29 @@ def main(argv=None) -> int:
             print(
                 f"INFO: pipelined dispatch {pipeline['pipeline_speedup']:.2f}x < 1.0x "
                 f"on this run (report-only bar; not enforced)"
+            )
+
+        # Artifact plane: coordinator bytes-on-wire with worker-to-worker
+        # transfer + the shared cache tier on vs off (report-only — reuse
+        # counts depend on task placement; see docs/artifacts.md).  Only
+        # meaningful for the local-spawn fleet the service layer drives.
+        if not worker_addresses:
+            plane = run_artifact_plane_report(smoke=args.smoke)
+            sections["artifact_plane"] = plane
+            print(
+                "artifact plane (two same-seed census runs, 2 workers): "
+                f"coordinator streamed "
+                f"{plane['coordinator_bytes_plane_off']:.0f} bytes "
+                f"({plane['coordinator_fetches_plane_off']:.0f} fetches) "
+                f"with the plane off vs "
+                f"{plane['coordinator_bytes_plane_on']:.0f} bytes "
+                f"({plane['coordinator_fetches_plane_on']:.0f} fetches) with it on"
+            )
+            print(
+                f"INFO: {plane['coordinator_bytes_saved']:.0f} coordinator "
+                f"bytes-on-wire saved via {plane['peer_fetches']:.0f} peer "
+                f"fetch(es) + {plane['cross_session_hits']:.0f} cross-session "
+                f"cache hit(s) (report-only; not enforced)"
             )
 
     if args.json:

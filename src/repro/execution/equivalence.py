@@ -164,12 +164,20 @@ def stats_store_snapshot(
 def store_snapshot(store: MaterializationStore) -> Dict[str, Any]:
     """Canonical view of a materialization store's catalog (what is persisted).
 
-    Both *which* nodes are persisted and their exact serialized artifact
-    sizes participate — canonical bytes are deterministic per value, so
-    equal stores snapshot equal (module docstring).
+    *Which* nodes are persisted, their exact serialized artifact sizes and
+    their content digests all participate — canonical bytes are
+    deterministic per value, so equal stores snapshot equal (module
+    docstring).  Including the digest makes the check sensitive to the
+    *path* bytes took into the store: a run whose workers resolved inputs
+    via peer fetch or a shared cache tier must leave byte-identical
+    artifacts behind, not merely same-sized ones.
     """
     return {
-        record.signature: {"node": record.node_name, "size_bytes": record.size_bytes}
+        record.signature: {
+            "node": record.node_name,
+            "size_bytes": record.size_bytes,
+            "digest": record.digest,
+        }
         for record in store.artifacts()
     }
 

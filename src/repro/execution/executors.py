@@ -83,6 +83,7 @@ from concurrent.futures import wait as wait_futures
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple, Type, Union
 
 from ..exceptions import ExecutionError, OperatorError, ProtocolError
+from ..storage.canonical import content_digest
 from ..storage.serialization import (
     PROTOCOL_VERSION,
     ArtifactRef,
@@ -586,26 +587,38 @@ def _recv_message(
 def _is_registration(message: Any) -> bool:
     """Whether a first frame is a worker registration tuple.
 
-    Registrations are ``("register", worker_id, pid[, heartbeat_interval])``
-    — the interval field announces the worker's own heartbeat cadence so
-    the coordinator can widen its silence threshold for slow beaters.
+    Registrations are ``("register", worker_id, pid[, heartbeat_interval[,
+    peer_address]])`` — the interval field announces the worker's own
+    heartbeat cadence so the coordinator can widen its silence threshold
+    for slow beaters, and the protocol-v5 address field announces the
+    worker's peer-artifact listener (``(host, port)``, or ``None`` when
+    peer fetch is disabled on the worker).
     """
     return (
         isinstance(message, tuple)
-        and len(message) in (3, 4)
+        and len(message) in (3, 4, 5)
         and message[0] == "register"
     )
 
 
-def _parse_registration(message: Tuple[Any, ...]) -> Tuple[str, int, Optional[float]]:
-    """Split a registration into ``(worker_id, pid, announced_interval)``."""
-    interval = message[3] if len(message) == 4 else None
+def _parse_registration(
+    message: Tuple[Any, ...],
+) -> Tuple[str, int, Optional[float], Optional[Tuple[str, int]]]:
+    """Split a registration into ``(worker_id, pid, interval, peer_address)``."""
+    interval = message[3] if len(message) >= 4 else None
     if interval is not None:
         try:
             interval = float(interval)
         except (TypeError, ValueError):
             interval = None
-    return message[1], message[2], interval
+    peer_address: Optional[Tuple[str, int]] = None
+    if len(message) == 5 and message[4] is not None:
+        try:
+            host, port = message[4]
+            peer_address = (str(host), int(port))
+        except (TypeError, ValueError):
+            peer_address = None  # malformed announcement: no peer serving
+    return message[1], message[2], interval, peer_address
 
 
 def _picklable_error(key: str, error: BaseException) -> BaseException:
@@ -633,74 +646,322 @@ class _FetchSlot:
         self.served = False
 
 
-#: Entry cap on a worker's per-session fetched-artifact cache.  Small on
-#: purpose — a pipelined window only needs the handful of inputs shared by
-#: consecutive tasks to stay warm.
-_WORKER_FETCH_CACHE_ENTRIES = 8
+#: Entry cap on a worker's shared artifact cache.  The cache spans every
+#: session multiplexed onto the worker (and, for a listen-mode worker,
+#: every coordinator connection), so the cap covers the working set of a
+#: handful of concurrent pipelines rather than one dispatch window.
+_WORKER_CACHE_ENTRIES = 32
 
 #: Byte budget for the same cache, measured in the *canonical encoded
-#: size* of each fetched artifact — the exact length of the blob the
-#: coordinator shipped, which is deterministic for a given value (no
-#: pickle-memoization drift across processes, so cache-bound behavior is
-#: reproducible).  The entry cap alone is the wrong bound for large
-#: values — eight multi-GB artifacts would hold the worker's whole
-#: address space hostage — so eviction triggers on whichever bound is
-#: exceeded first.
-_WORKER_FETCH_CACHE_BYTES = 256 * 1024 * 1024
+#: size* of each artifact — the exact length of the blob that crossed the
+#: wire, which is deterministic for a given value (no pickle-memoization
+#: drift across processes, so cache-bound behavior is reproducible).  The
+#: entry cap alone is the wrong bound for large values — a few dozen
+#: multi-GB artifacts would hold the worker's whole address space hostage
+#: — so eviction triggers on whichever bound is exceeded first.
+_WORKER_CACHE_BYTES = 256 * 1024 * 1024
+
+#: Seconds allotted to one worker-to-worker artifact transfer (dial +
+#: request + reply).  Kept short relative to the coordinator fetch
+#: timeout: a dead or wedged peer must degrade to the coordinator path
+#: quickly, not consume the task's whole fetch budget.
+_PEER_FETCH_TIMEOUT = 10.0
 
 
-class _FetchCache:
-    """LRU over fetched artifact values, bounded by bytes *and* entries.
+class _ArtifactCache:
+    """The worker's content-addressed artifact tier: a sized LRU with dedup.
 
-    Small artifacts keep :data:`_WORKER_FETCH_CACHE_ENTRIES` as their
-    bound; large artifacts are evicted as soon as the cached blobs'
-    combined canonical encoded size exceeds the byte budget.  Sizes are
-    the exact ``len()`` of each fetched blob — canonical bytes are
-    deterministic per value, so the same artifacts always charge the same
-    budget in every worker (no re-serialization, no pickle-memo drift).
-    The most recently inserted entry is never evicted, so an artifact
-    above the whole budget still serves the task that fetched it (and is
-    dropped on the next insert).
+    One instance spans every run session (and every coordinator
+    connection) a worker serves, keyed on canonical artifact signatures —
+    the signature *is* the content address, so two concurrent served runs
+    with overlapping pipelines share one materialized copy per artifact.
+    Each entry keeps both the deserialized value (what task resolution
+    hands to operators) and the canonical blob (what the peer-fetch lane
+    serves to other workers, and what byte accounting charges: the exact
+    ``len()`` of the bytes that crossed the wire, deterministic per
+    value).  Inserting a signature that is already cached is a **dedup
+    hit**: the existing entry is kept, its recency refreshed and nothing
+    re-charged — with a digest check asserting the byte-exactness the
+    canonical encoding guarantees (same signature, same bytes).
+
+    Eviction is LRU over whichever bound — entries or bytes — is exceeded
+    first, with two protections: the most recently inserted entry is never
+    evicted *at insert time* (an artifact above the whole budget still
+    serves the task that fetched it; the budget is re-enforced when its
+    last pin is released), and **pinned** entries — inputs of in-flight
+    tasks, pinned by the resolver and unpinned when the task finishes —
+    are skipped, so eviction pressure from one session can never pull an
+    artifact out from under another session's running task.
+
+    All methods are thread-safe: the executor loop, the peer-artifact
+    listener threads and the heartbeat stats snapshot touch one lock.
     """
 
-    __slots__ = ("max_entries", "max_bytes", "_entries", "_bytes")
+    __slots__ = ("max_entries", "max_bytes", "_lock", "_entries", "_bytes", "_pins", "_counters")
 
     def __init__(
         self,
-        max_entries: int = _WORKER_FETCH_CACHE_ENTRIES,
-        max_bytes: int = _WORKER_FETCH_CACHE_BYTES,
+        max_entries: int = _WORKER_CACHE_ENTRIES,
+        max_bytes: int = _WORKER_CACHE_BYTES,
     ) -> None:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
-        self._entries: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
+        self._lock = threading.Lock()
+        #: signature -> (value, blob, size, digest, inserting_session)
+        self._entries: "OrderedDict[str, Tuple[Any, bytes, int, str, Any]]" = OrderedDict()
         self._bytes = 0
+        self._pins: Dict[str, int] = {}
+        self._counters: Dict[str, int] = {
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cross_session_hits": 0,
+            "inserts": 0,
+            "dedup_hits": 0,
+            "evictions": 0,
+            "peer_serves": 0,
+            "peer_fetches": 0,
+            "peer_fetch_failures": 0,
+            "coordinator_fetches": 0,
+        }
 
-    def get(self, signature: str) -> Tuple[bool, Any]:
-        """``(hit, value)``; a hit refreshes the entry's recency."""
-        entry = self._entries.get(signature)
-        if entry is None:
-            return False, None
-        self._entries.move_to_end(signature)
-        return True, entry[0]
+    def get(self, signature: str, session: Any = None) -> Tuple[bool, Any]:
+        """``(hit, value)``; a hit refreshes the entry's recency.
 
-    def put(self, signature: str, value: Any, size_bytes: int) -> None:
-        old = self._entries.pop(signature, None)
-        if old is not None:
-            self._bytes -= old[1]
-        self._entries[signature] = (value, int(size_bytes))
-        self._bytes += int(size_bytes)
-        while len(self._entries) > 1 and (
-            self._bytes > self.max_bytes or len(self._entries) > self.max_entries
-        ):
-            _, (_, dropped) = self._entries.popitem(last=False)
+        ``session`` identifies the asking run session: a hit on an entry
+        inserted by a *different* session counts as a cross-session hit —
+        the wire-observable signal that concurrent runs are sharing
+        materialized state on this worker.
+        """
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is None:
+                self._counters["cache_misses"] += 1
+                return False, None
+            self._entries.move_to_end(signature)
+            self._counters["cache_hits"] += 1
+            if session is not None and entry[4] is not None and entry[4] != session:
+                self._counters["cross_session_hits"] += 1
+            return True, entry[0]
+
+    def put(self, signature: str, value: Any, blob: bytes, session: Any = None) -> None:
+        """Insert one artifact under its content address (byte-exact dedup).
+
+        A signature already cached keeps its existing entry — same
+        address, same bytes, so re-charging or replacing it would only
+        churn; the digest assertion documents (and checks) that byte
+        exactness.  New entries charge ``len(blob)`` and trigger LRU
+        eviction on the entry/byte bounds, skipping pinned entries and
+        the entry just inserted.
+        """
+        size = len(blob)
+        digest = content_digest(blob)
+        with self._lock:
+            existing = self._entries.get(signature)
+            if existing is not None:
+                self._counters["dedup_hits"] += 1
+                if existing[3] != digest:  # pragma: no cover - canonical bytes diverged
+                    warnings.warn(
+                        f"artifact {signature!r} arrived with different bytes "
+                        f"than the cached copy; keeping the first (content "
+                        f"addressing assumes deterministic serialization)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                self._entries.move_to_end(signature)
+                return
+            self._entries[signature] = (value, blob, size, digest, session)
+            self._bytes += size
+            self._counters["inserts"] += 1
+            self._evict_over_budget(protect_newest=True)
+
+    def _evict_over_budget(self, protect_newest: bool) -> None:
+        """Drop LRU unpinned entries until within bounds (lock held).
+
+        ``protect_newest`` exempts the most recent entry — insert-time
+        eviction must not drop the artifact just fetched for a task; once
+        the last pin is released an over-budget entry is fair game.
+        """
+        while self._bytes > self.max_bytes or len(self._entries) > self.max_entries:
+            victim = None
+            candidates = list(self._entries)
+            if protect_newest:
+                candidates = candidates[:-1]
+            for candidate in candidates:
+                if self._pins.get(candidate, 0) == 0:
+                    victim = candidate
+                    break
+            if victim is None:
+                break  # everything evictable is pinned by in-flight tasks
+            _, _, dropped, _, _ = self._entries.pop(victim)
             self._bytes -= dropped
+            self._counters["evictions"] += 1
+
+    def blob(self, signature: str) -> Optional[bytes]:
+        """Canonical bytes for the peer-fetch lane (``None`` = miss).
+
+        Serving a peer counts in ``peer_serves`` and refreshes recency —
+        an artifact other workers keep asking for is worth keeping.
+        """
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is None:
+                return None
+            self._entries.move_to_end(signature)
+            self._counters["peer_serves"] += 1
+            return entry[1]
+
+    def pin(self, signature: str) -> None:
+        """Protect an in-flight task's input from eviction (refcounted)."""
+        with self._lock:
+            self._pins[signature] = self._pins.get(signature, 0) + 1
+
+    def unpin(self, signature: str) -> None:
+        """Release one pin; re-enforce the budget once nothing needs it.
+
+        The insert-time pass never evicts the entry it just admitted even
+        when that entry alone exceeds the whole budget — so an over-budget
+        tier is re-checked here, where the pin release marks the moment
+        the oversized artifact stops being an in-flight task's input.
+        """
+        with self._lock:
+            count = self._pins.get(signature, 0) - 1
+            if count <= 0:
+                self._pins.pop(signature, None)
+                self._evict_over_budget(protect_newest=False)
+            else:
+                self._pins[signature] = count
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Bump a plane counter (resolver-path events the cache can't see)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + delta
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of counters + occupancy (the v5 heartbeat payload)."""
+        with self._lock:
+            snapshot = dict(self._counters)
+            snapshot["cache_entries"] = len(self._entries)
+            snapshot["cache_bytes"] = self._bytes
+            return snapshot
 
     @property
     def total_bytes(self) -> int:
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+
+class _PeerArtifactServer:
+    """A worker's peer-artifact listener: serves its cache tier to peers.
+
+    Every :class:`WorkerServer` with peer fetch enabled binds one of these
+    on an ephemeral port and announces the address in its registration
+    (protocol v5).  Peers dial in, send ``("peer_fetch", signature)``
+    frames and receive ``("peer_artifact", signature, blob | None)``
+    replies straight from the shared :class:`_ArtifactCache` — no store,
+    no coordinator, no task state.  Connections are served one frame at a
+    time on small daemon threads and die with EOF; the listener is
+    separate from a listen-mode worker's coordinator socket, so the
+    one-coordinator-at-a-time accept discipline there is untouched.
+    """
+
+    def __init__(self, cache: _ArtifactCache, host: str = "127.0.0.1") -> None:
+        self._cache = cache
+        self.host = host
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, 0))
+        listener.listen(8)
+        listener.settimeout(0.5)  # poll the stop flag; accept() ignores close()
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name=f"repro-dist-peer-{self.port}"
+        )
+        self._thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True,
+                name=f"repro-dist-peer-conn-{self.port}",
+            ).start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        try:
+            conn.settimeout(_PEER_FETCH_TIMEOUT)
+            while True:
+                received = recv_message(conn)
+                if received is None:
+                    return
+                message, version = received
+                if not (
+                    isinstance(message, tuple)
+                    and len(message) == 2
+                    and message[0] == "peer_fetch"
+                ):
+                    return  # not speaking the peer-fetch protocol: hang up
+                signature = message[1]
+                send_message(
+                    conn,
+                    ("peer_artifact", signature, self._cache.blob(signature)),
+                    version=min(PROTOCOL_VERSION, version),
+                )
+        except (OSError, ProtocolError):
+            pass  # peer vanished; nothing to clean up
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        self._stop.set()
+        self._listener.close()
+
+
+def _fetch_from_peer(
+    address: Tuple[str, int], signature: str, timeout: float = _PEER_FETCH_TIMEOUT
+) -> Optional[bytes]:
+    """Dial a peer worker's artifact listener and fetch one blob.
+
+    Returns the canonical bytes, or ``None`` when the peer answered but no
+    longer holds the artifact (evicted between the coordinator's answer
+    and this dial).  Raises ``OSError``/:class:`ProtocolError` when the
+    peer is unreachable or dies mid-transfer — the caller degrades to the
+    coordinator-streamed path.
+    """
+    with socket.create_connection(address, timeout=timeout) as conn:
+        conn.settimeout(timeout)
+        send_message(conn, ("peer_fetch", signature))
+        received = recv_message(conn)
+        if received is None:
+            raise ProtocolError(
+                f"peer worker at {address[0]}:{address[1]} closed the "
+                f"connection before answering the artifact fetch"
+            )
+        message, _version = received
+        if not (
+            isinstance(message, tuple)
+            and len(message) == 3
+            and message[0] == "peer_artifact"
+            and message[1] == signature
+        ):
+            raise ProtocolError(
+                f"peer worker at {address[0]}:{address[1]} answered the "
+                f"fetch of {signature!r} with a malformed reply"
+            )
+        return message[2]
 
 
 class WorkerServer:
@@ -723,9 +984,16 @@ class WorkerServer:
     frame carries a session id): tasks queue in per-session lanes drained
     round-robin, so no session's backlog starves another's, and task inputs
     shipped as :class:`~repro.storage.serialization.ArtifactRef` are
-    resolved through the connection's FETCH lane with a per-session,
-    byte-bounded value cache.  The loop exits on a ``shutdown`` message or
-    when the connection closes.
+    resolved through the worker's **content-addressed artifact tier** — a
+    session-spanning, byte-bounded LRU (:class:`_ArtifactCache`) keyed on
+    canonical signatures, so concurrent runs with overlapping pipelines
+    share one materialized copy per artifact.  A miss resolves, in order:
+    a v5 coordinator's ``locate`` answer naming peer workers that hold the
+    blob (fetched worker-to-worker off this worker's own
+    :class:`_PeerArtifactServer` counterpart), then the classic
+    coordinator-streamed FETCH lane — peer failures degrade with a single
+    ``RuntimeWarning``, never a task failure.  The loop exits on a
+    ``shutdown`` message or when the connection closes.
 
     Two launch modes share this loop:
 
@@ -749,6 +1017,19 @@ class WorkerServer:
     fetch_timeout:
         Seconds to wait for the coordinator to answer an artifact fetch
         before failing the task that needs it.
+    peer_fetch:
+        Whether this worker joins the artifact plane: binds a
+        peer-artifact listener, announces it at registration, and tries
+        located peers before the coordinator-streamed path.  Disabling it
+        restores the every-byte-through-the-coordinator behavior.
+    peer_host:
+        Interface the peer-artifact listener binds (default loopback —
+        right for locally-spawned fleets; :meth:`listen` passes the
+        worker's own serving host for remote workers).
+    cache_bytes, cache_entries:
+        Byte budget / entry cap of the shared artifact cache tier
+        (``None`` = the :data:`_WORKER_CACHE_BYTES` /
+        :data:`_WORKER_CACHE_ENTRIES` defaults).
     """
 
     def __init__(
@@ -758,6 +1039,10 @@ class WorkerServer:
         worker_id: Optional[str] = None,
         heartbeat_interval: float = 0.5,
         fetch_timeout: float = 60.0,
+        peer_fetch: bool = True,
+        peer_host: str = "127.0.0.1",
+        cache_bytes: Optional[int] = None,
+        cache_entries: Optional[int] = None,
     ) -> None:
         if heartbeat_interval <= 0:
             # Mirrors the coordinator-side check: stop.wait(0) would turn
@@ -765,11 +1050,25 @@ class WorkerServer:
             raise ExecutionError("heartbeat_interval must be positive")
         if fetch_timeout <= 0:
             raise ExecutionError("fetch_timeout must be positive")
+        if cache_bytes is not None and cache_bytes < 1:
+            raise ExecutionError("cache_bytes must be positive")
+        if cache_entries is not None and cache_entries < 1:
+            raise ExecutionError("cache_entries must be positive")
         self.host = host
         self.port = port
         self.worker_id = worker_id if worker_id is not None else f"pid{os.getpid()}"
         self.heartbeat_interval = heartbeat_interval
         self.fetch_timeout = fetch_timeout
+        self.peer_fetch = bool(peer_fetch)
+        self.peer_host = peer_host
+        #: The session-spanning artifact tier.  Lives on the *server*, not
+        #: the connection: a listen-mode worker keeps it warm across
+        #: coordinator sessions, which is where cross-run reuse comes from.
+        self.cache = _ArtifactCache(
+            max_entries=cache_entries if cache_entries is not None else _WORKER_CACHE_ENTRIES,
+            max_bytes=cache_bytes if cache_bytes is not None else _WORKER_CACHE_BYTES,
+        )
+        self._peer_server: Optional[_PeerArtifactServer] = None
 
     def serve(self) -> None:
         """Dial the coordinator, register, and serve tasks until told to stop."""
@@ -791,6 +1090,8 @@ class WorkerServer:
         fetch_timeout: float = 60.0,
         max_sessions: Optional[int] = None,
         on_ready: Optional[Callable[[str, int], None]] = None,
+        peer_fetch: bool = True,
+        cache_bytes: Optional[int] = None,
     ) -> None:
         """Bind ``host:port`` and serve coordinator sessions, one at a time.
 
@@ -807,6 +1108,9 @@ class WorkerServer:
         invoked with the bound address before the first ``accept`` (tests
         and launchers use it to learn the port).  ``max_sessions`` bounds
         the number of coordinator sessions served (``None`` = forever).
+        The worker's artifact cache tier and peer-artifact listener live
+        on the server, not the connection, so cached artifacts survive
+        from one coordinator session into the next.
         """
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -817,6 +1121,9 @@ class WorkerServer:
             worker_id=worker_id,
             heartbeat_interval=heartbeat_interval,
             fetch_timeout=fetch_timeout,
+            peer_fetch=peer_fetch,
+            peer_host=host,
+            cache_bytes=cache_bytes,
         )
         if on_ready is not None:
             on_ready(bound_host, bound_port)
@@ -836,12 +1143,14 @@ class WorkerServer:
     def _serve_connection(self, sock: socket.socket) -> None:
         """Serve one coordinator connection until shutdown or disconnect.
 
-        Bookkeeping is kept per run session: each session gets its own task
-        lane (drained round-robin across sessions), its own pending fetch
-        slots, and its own byte-bounded fetched-value cache — all of it
-        released when the coordinator sends the session's ``close_session``
-        frame.  Registration and heartbeats stay per-connection — liveness
-        is a property of the transport, not of any one session.
+        Task lanes and pending fetch/locate slots are kept per run session
+        and released on the coordinator's ``close_session`` frame; the
+        artifact cache tier is deliberately *not* — it is content-addressed
+        (signature = canonical address, so entries can never go stale) and
+        session-spanning by design, bounded by its own byte/entry LRU
+        budget instead of by session lifetime.  Registration and heartbeats
+        stay per-connection — liveness is a property of the transport, not
+        of any one session.
         """
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         send_lock = threading.Lock()
@@ -849,9 +1158,9 @@ class WorkerServer:
         wake = threading.Condition()
         # Newest protocol version the coordinator has demonstrably sent;
         # every reply goes out at min(ours, theirs).  Starts optimistic (a
-        # v3 coordinator cannot read our v4 registration anyway — upgrades
+        # v3 coordinator cannot read our v4+ registration anyway — upgrades
         # roll coordinator-first, see the serialization module docstring)
-        # and downgrades on the first v3 frame received.
+        # and downgrades on the first older frame received.
         peer = {"version": PROTOCOL_VERSION}
 
         def _peer_version() -> int:
@@ -862,31 +1171,66 @@ class WorkerServer:
         lanes: "OrderedDict[Any, Deque[Tuple[str, bytes]]]" = OrderedDict()
         fetch_lock = threading.Lock()
         fetch_slots: Dict[Tuple[Any, str], _FetchSlot] = {}
-        # Per-session fetched-value caches.  Dropped on the coordinator's
-        # ``close_session`` frame: under a long-lived fleet (``repro
-        # serve``) one connection outlives thousands of sessions, and
-        # without eviction every finished run would permanently retain its
-        # cache of deserialized artifacts in this worker.
-        caches: Dict[Any, _FetchCache] = {}
+        # Pending ``locate`` requests awaiting their ``located`` answer —
+        # same slot mechanics as fetches, separate keyspace (a task may
+        # have both in flight for the same signature).
+        locate_slots: Dict[Tuple[Any, str], _FetchSlot] = {}
+        cache = self.cache
+        if self.peer_fetch and self._peer_server is None:
+            self._peer_server = _PeerArtifactServer(cache, host=self.peer_host)
+            self._peer_server.start()
+        # The peer-listener address announced to the coordinator: a worker
+        # bound to a wildcard interface announces the concrete address this
+        # coordinator connection uses to reach it (what its peers can dial).
+        peer_address: Optional[Tuple[str, int]] = None
+        if self._peer_server is not None:
+            announce_host = self._peer_server.host
+            if announce_host in ("", "0.0.0.0", "::"):
+                announce_host = sock.getsockname()[0]
+            peer_address = (announce_host, self._peer_server.port)
         # Registration announces the worker's own heartbeat interval so a
         # coordinator whose heartbeat_timeout was derived from a *different*
         # interval can widen its silence threshold for this worker instead
-        # of declaring a slow-beating (but healthy) remote worker dead.
+        # of declaring a slow-beating (but healthy) remote worker dead, and
+        # (protocol v5) the peer-artifact listener address, so the
+        # coordinator's location index can hand it to other workers.
         _send_message(
             sock,
-            ("register", self.worker_id, os.getpid(), self.heartbeat_interval),
+            (
+                "register",
+                self.worker_id,
+                os.getpid(),
+                self.heartbeat_interval,
+                peer_address,
+            ),
             send_lock,
         )
+
+        def _stats_beat() -> None:
+            """Best-effort stats-carrying heartbeat (v5 coordinators only)."""
+            version = _peer_version()
+            if version < 5:
+                return
+            try:
+                _send_message(
+                    sock,
+                    ("heartbeat", self.worker_id, cache.stats()),
+                    send_lock,
+                    version=version,
+                )
+            except OSError:
+                pass
 
         def _heartbeat() -> None:
             while not stop.wait(self.heartbeat_interval):
                 try:
-                    _send_message(
-                        sock,
-                        ("heartbeat", self.worker_id),
-                        send_lock,
-                        version=_peer_version(),
+                    version = _peer_version()
+                    beat = (
+                        ("heartbeat", self.worker_id, cache.stats())
+                        if version >= 5
+                        else ("heartbeat", self.worker_id)
                     )
+                    _send_message(sock, beat, send_lock, version=version)
                 except OSError:
                     return
 
@@ -906,20 +1250,35 @@ class WorkerServer:
                     slot.blob = blob
                     slot.served = True
                     slot.event.set()
+            elif kind == "located":
+                _, session, signature, peers = message
+                with fetch_lock:
+                    slot = locate_slots.pop((session, signature), None)
+                if slot is not None:
+                    slot.blob = peers
+                    slot.served = True
+                    slot.event.set()
             elif kind == "close_session":
                 # The coordinator drained the session and dropped it:
-                # release its lane, cache and pending fetch slots so a
-                # long-lived connection does not accumulate one set of
-                # each per finished run.
+                # release its lane and pending fetch/locate slots.  The
+                # artifact cache tier survives on purpose — it is content
+                # addressed (entries can never go stale) and bounded by
+                # its own LRU budget, and keeping it warm across sessions
+                # is what lets the next run reuse this one's artifacts.
                 _, session = message
                 with wake:
                     lanes.pop(session, None)
-                caches.pop(session, None)
                 with fetch_lock:
                     stale = [k for k in fetch_slots if k[0] == session]
                     closed = [fetch_slots.pop(k) for k in stale]
+                    stale = [k for k in locate_slots if k[0] == session]
+                    closed += [locate_slots.pop(k) for k in stale]
                 for slot in closed:
                     slot.event.set()  # served stays False -> fetch fails typed
+                # Flush final plane counters while the coordinator still
+                # has this session's stats consumer attached (the periodic
+                # beat may lag the session close by up to an interval).
+                _stats_beat()
 
         def _reader() -> None:
             # Runs concurrently with task execution so a pipelined task N+1
@@ -972,8 +1331,9 @@ class WorkerServer:
             with wake:
                 wake.notify_all()  # unblock the executor loop
             with fetch_lock:
-                orphaned = list(fetch_slots.values())
+                orphaned = list(fetch_slots.values()) + list(locate_slots.values())
                 fetch_slots.clear()
+                locate_slots.clear()
             for slot in orphaned:
                 slot.event.set()  # served stays False -> fetch fails typed
 
@@ -999,43 +1359,134 @@ class WorkerServer:
                         return None
                     wake.wait(timeout=0.5)
 
-        def _resolver_for(session: Any) -> Callable[[str], Any]:
-            cache = caches.setdefault(session, _FetchCache())
+        def _locate_peers(session: Any, signature: str) -> Tuple[Tuple[str, int], ...]:
+            """Ask the coordinator which peer workers hold a blob.
 
-            def _resolve(signature: str) -> Any:
-                hit, value = cache.get(signature)
-                if hit:
-                    return value
-                slot = _FetchSlot()
-                with fetch_lock:
-                    if stop.is_set():
-                        raise ExecutionError(
-                            "connection to the coordinator closed before the fetch"
-                        )
-                    fetch_slots[(session, signature)] = slot
+            Best-effort: an empty answer — including a locate timeout or a
+            closed connection — just routes the resolve to the classic
+            coordinator-streamed path.
+            """
+            slot = _FetchSlot()
+            with fetch_lock:
+                if stop.is_set():
+                    return ()
+                locate_slots[(session, signature)] = slot
+            try:
                 _send_message(
                     sock,
-                    ("fetch", self.worker_id, session, signature),
+                    ("locate", self.worker_id, session, signature),
                     send_lock,
                     version=_peer_version(),
                 )
-                if not slot.event.wait(self.fetch_timeout):
+            except OSError:
+                with fetch_lock:
+                    locate_slots.pop((session, signature), None)
+                return ()
+            if not slot.event.wait(self.fetch_timeout):
+                with fetch_lock:
+                    locate_slots.pop((session, signature), None)
+                return ()
+            if not slot.served or not slot.blob:
+                return ()
+            try:
+                return tuple((str(host), int(port)) for host, port in slot.blob)
+            except (TypeError, ValueError):
+                return ()
+
+        def _fetch_via_peers(
+            peers: Tuple[Tuple[str, int], ...], signature: str
+        ) -> Optional[bytes]:
+            """Try each located peer in turn; degrade quietly on misses.
+
+            Dial/transfer failures across *all* peers produce exactly one
+            ``RuntimeWarning`` (never a task failure): the caller falls
+            back to the coordinator-streamed path, which owns the bytes.
+            """
+            failures: List[str] = []
+            timeout = min(self.fetch_timeout, _PEER_FETCH_TIMEOUT)
+            for address in peers:
+                try:
+                    blob = _fetch_from_peer(address, signature, timeout=timeout)
+                except (OSError, ProtocolError) as exc:
+                    failures.append(f"{address[0]}:{address[1]}: {exc}")
+                    continue
+                if blob is not None:
+                    cache.count("peer_fetches")
+                    return blob
+            if failures:
+                cache.count("peer_fetch_failures")
+                warnings.warn(
+                    f"peer fetch of artifact {signature!r} failed "
+                    f"({'; '.join(failures)}); falling back to the "
+                    f"coordinator-streamed path",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return None
+
+        def _resolver_for(session: Any, pinned: List[str]) -> Callable[[str], Any]:
+            def _resolve(signature: str) -> Any:
+                hit, value = cache.get(signature, session=session)
+                if hit:
+                    cache.pin(signature)
+                    pinned.append(signature)
+                    return value
+                blob: Optional[bytes] = None
+                from_peer = False
+                if self.peer_fetch and _peer_version() >= 5:
+                    peers = _locate_peers(session, signature)
+                    if peers:
+                        blob = _fetch_via_peers(peers, signature)
+                        from_peer = blob is not None
+                if blob is None:
+                    slot = _FetchSlot()
                     with fetch_lock:
-                        fetch_slots.pop((session, signature), None)
-                    raise ExecutionError(
-                        f"coordinator did not answer the fetch of artifact "
-                        f"{signature!r} within {self.fetch_timeout:g}s"
+                        if stop.is_set():
+                            raise ExecutionError(
+                                "connection to the coordinator closed before the fetch"
+                            )
+                        fetch_slots[(session, signature)] = slot
+                    _send_message(
+                        sock,
+                        ("fetch", self.worker_id, session, signature),
+                        send_lock,
+                        version=_peer_version(),
                     )
-                if not slot.served:
-                    raise ExecutionError(
-                        f"connection closed while fetching artifact {signature!r}"
-                    )
-                if slot.blob is None:
-                    raise ExecutionError(
-                        f"coordinator has no stored artifact for signature {signature!r}"
-                    )
-                value = deserialize(slot.blob)
-                cache.put(signature, value, len(slot.blob))
+                    if not slot.event.wait(self.fetch_timeout):
+                        with fetch_lock:
+                            fetch_slots.pop((session, signature), None)
+                        raise ExecutionError(
+                            f"coordinator did not answer the fetch of artifact "
+                            f"{signature!r} within {self.fetch_timeout:g}s"
+                        )
+                    if not slot.served:
+                        raise ExecutionError(
+                            f"connection closed while fetching artifact {signature!r}"
+                        )
+                    if slot.blob is None:
+                        raise ExecutionError(
+                            f"coordinator has no stored artifact for signature {signature!r}"
+                        )
+                    blob = slot.blob
+                    cache.count("coordinator_fetches")
+                value = deserialize(blob)
+                cache.put(signature, value, blob, session=session)
+                cache.pin(signature)
+                pinned.append(signature)
+                if from_peer and _peer_version() >= 5:
+                    # Tell the location index this worker now holds the
+                    # blob too (the coordinator only learns about holders
+                    # it streamed bytes to itself).  Best-effort: a lost
+                    # announcement just means one fewer known replica.
+                    try:
+                        _send_message(
+                            sock,
+                            ("cached", self.worker_id, signature),
+                            send_lock,
+                            version=_peer_version(),
+                        )
+                    except OSError:
+                        pass
                 return value
 
             return _resolve
@@ -1046,8 +1497,11 @@ class WorkerServer:
                 if item is None:
                     break
                 session, key, payload = item
+                pinned: List[str] = []
                 try:
-                    reply = run_serialized_task(payload, resolve=_resolver_for(session))
+                    reply = run_serialized_task(
+                        payload, resolve=_resolver_for(session, pinned)
+                    )
                 except BaseException as exc:  # noqa: BLE001 - shipped back typed
                     # Interrupt/exit must still take the worker down: report
                     # the failure best-effort, then re-raise instead of
@@ -1068,6 +1522,11 @@ class WorkerServer:
                     if fatal:
                         raise
                     continue
+                finally:
+                    # Inputs were pinned by the resolver so eviction could
+                    # not drop them mid-task; the task is over either way.
+                    for pinned_signature in pinned:
+                        cache.unpin(pinned_signature)
                 try:
                     _send_message(
                         sock,
@@ -1107,6 +1566,8 @@ def _distributed_worker_main(
     worker_id: str,
     heartbeat_interval: float,
     fetch_timeout: float = 60.0,
+    peer_fetch: bool = True,
+    cache_bytes: Optional[int] = None,
 ) -> None:
     """Entry point of a spawned worker process (module-level: spawn-safe)."""
     WorkerServer(
@@ -1115,6 +1576,8 @@ def _distributed_worker_main(
         worker_id=worker_id,
         heartbeat_interval=heartbeat_interval,
         fetch_timeout=fetch_timeout,
+        peer_fetch=peer_fetch,
+        cache_bytes=cache_bytes,
     ).serve()
 
 
@@ -1173,6 +1636,7 @@ class _WorkerHandle:
     __slots__ = (
         "worker_id", "process", "pid", "sock", "send_lock", "alive",
         "last_seen", "inflight", "address", "silence_timeout", "protocol",
+        "peer_address",
     )
 
     def __init__(self, worker_id: str):
@@ -1200,6 +1664,11 @@ class _WorkerHandle:
         #: heartbeat interval than the coordinator assumed (``None`` =
         #: use the executor's timeout).
         self.silence_timeout: Optional[float] = None
+        #: ``(host, port)`` of the worker's peer-fetch listener as announced
+        #: in a v5 registration; ``None`` for v4-and-earlier workers or
+        #: workers started with peer fetch disabled.  The location index
+        #: only ever hands out addresses recorded here.
+        self.peer_address: Optional[Tuple[str, int]] = None
 
 
 class DistributedExecutor(_OutOfProcessExecutor):
@@ -1236,13 +1705,22 @@ class DistributedExecutor(_OutOfProcessExecutor):
     — exactly the :class:`ProcessExecutor` reply contract, so the engine
     applies the cost model identically.
 
-    Store access (the FETCH/ARTIFACT lane): when ``fetch_inputs`` is active
+    Store access (the artifact plane): when ``fetch_inputs`` is active
     — the default for address-configured workers, which cannot assume the
     coordinator's filesystem — the engine ships store-resident COMPUTE
     inputs as :class:`~repro.storage.serialization.ArtifactRef`
-    placeholders, and workers resolve them with ``fetch`` requests the
-    coordinator answers from the store bound via :meth:`bind_store`
-    (served on the I/O pool, so fetches never stall dispatch).
+    placeholders, and workers resolve them content-addressed by
+    signature.  Since protocol version 5 a v5 worker first asks
+    ``locate`` and the coordinator answers with the addresses of peer
+    workers already holding the blob (recorded when it streamed the
+    artifact to them, or when they announced a ``cached`` peer-fetch
+    insert), so the bytes move worker-to-worker instead of through the
+    coordinator; when no peer holds the blob, the peer dial fails, or
+    either side speaks v4, the worker falls back to the classic ``fetch``
+    request the coordinator answers from the store bound via
+    :meth:`bind_store` (served on the I/O pool, so fetches never stall
+    dispatch).  :meth:`artifact_plane_stats` aggregates both sides'
+    counters.
 
     Failure handling: a worker that dies (socket EOF, dead process, or
     missed heartbeats for ``heartbeat_timeout`` seconds) has its in-flight
@@ -1325,6 +1803,17 @@ class DistributedExecutor(_OutOfProcessExecutor):
         answer an artifact fetch before failing the task that needs it
         (remote workers use the ``--fetch-timeout`` they were started
         with).
+    peer_fetch:
+        Whether the coordinator answers ``locate`` requests with peer
+        worker addresses (default ``True``).  ``False`` makes every
+        ``located`` answer empty, so all artifact bytes route through the
+        coordinator exactly as in protocol v4 — spawned workers still
+        inherit the flag and skip starting their peer listener entirely.
+    worker_cache_bytes:
+        Byte budget of each locally-spawned worker's content-addressed
+        artifact cache tier (default: the worker-side
+        ``_WORKER_CACHE_BYTES`` bound; remote workers use the
+        ``--cache-bytes`` they were started with).
 
     Several engines can share one executor's worker pool concurrently:
     :meth:`session` opens a :class:`DistributedSession` with its own
@@ -1348,6 +1837,8 @@ class DistributedExecutor(_OutOfProcessExecutor):
         connect_timeout: float = 5.0,
         redial_backoff: float = 0.25,
         fetch_timeout: float = 60.0,
+        peer_fetch: bool = True,
+        worker_cache_bytes: Optional[int] = None,
     ) -> None:
         super().__init__()
         if max_workers is not None and max_workers < 1:
@@ -1391,6 +1882,10 @@ class DistributedExecutor(_OutOfProcessExecutor):
             raise ExecutionError("redial_backoff must be positive")
         if fetch_timeout <= 0:
             raise ExecutionError("fetch_timeout must be positive")
+        if worker_cache_bytes is not None and worker_cache_bytes < 1:
+            raise ExecutionError("worker_cache_bytes must be at least 1")
+        self.peer_fetch = bool(peer_fetch)
+        self.worker_cache_bytes = worker_cache_bytes
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.max_task_attempts = max_task_attempts
@@ -1433,6 +1928,29 @@ class DistributedExecutor(_OutOfProcessExecutor):
         #: re-dial backoff and resets to zero on a successful dial.
         self._remote_dial_failures: Dict[Tuple[str, int], int] = {}
         self._store: Optional[Any] = None
+        #: Artifact-plane location index: for each signature, the workers
+        #: known to hold its blob, oldest-recorded first (an OrderedDict
+        #: doubles as an insertion-ordered set).  Sites are recorded when
+        #: the coordinator streams an artifact to a worker and when a
+        #: worker announces a ``cached`` peer-fetch insert; a dead worker's
+        #: sites are pruned in :meth:`_worker_failed`.
+        self._artifact_sites: Dict[str, "OrderedDict[str, None]"] = {}
+        #: Reverse index of the above, so pruning a dead worker is O(its
+        #: holdings) instead of a scan over every signature.
+        self._worker_sites: Dict[str, set] = {}
+        self._plane_lock = threading.Lock()
+        #: Coordinator-side artifact-plane counters (see
+        #: :meth:`artifact_plane_stats`).
+        self._plane: Dict[str, int] = {
+            "fetches_served": 0,
+            "fetch_bytes_served": 0,
+            "locates_served": 0,
+            "locates_with_peers": 0,
+        }
+        #: Latest cache stats heartbeat per worker id (v5 workers only).
+        #: Deliberately never pruned on worker death or shutdown so the
+        #: serve daemon can report peer/cache reuse after the fleet stops.
+        self._worker_plane: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------ lifecycle
     def bind_store(self, store: Any) -> None:
@@ -1705,6 +2223,8 @@ class DistributedExecutor(_OutOfProcessExecutor):
                 worker_id,
                 self.heartbeat_interval,
                 self.fetch_timeout,
+                self.peer_fetch,
+                self.worker_cache_bytes,
             ),
             daemon=True,
             name=f"repro-dist-{worker_id}",
@@ -1874,13 +2394,23 @@ class DistributedExecutor(_OutOfProcessExecutor):
                 f"worker at {host}:{port} did not announce a registration "
                 f"(is it a repro.execution.worker of the same protocol revision?)"
             )
-        _announced_id, pid, announced_interval = _parse_registration(message)
+        _announced_id, pid, announced_interval, peer_address = _parse_registration(message)
         worker_id = f"{host}:{port}"
         handle = _WorkerHandle(worker_id)
         handle.sock = sock
         handle.pid = pid
         handle.address = address
         handle.protocol = peer_version
+        if peer_version >= 5 and peer_address is not None:
+            peer_host, peer_port = peer_address
+            # A remote worker that bound its peer listener to loopback is
+            # only dialable from its own host; substitute the address the
+            # coordinator actually reached it at.
+            if peer_host in ("127.0.0.1", "localhost", "::1") and host not in (
+                "127.0.0.1", "localhost", "::1"
+            ):
+                peer_host = host
+            handle.peer_address = (peer_host, peer_port)
         handle.silence_timeout = self._silence_timeout_for(announced_interval)
         handle.last_seen = time.monotonic()
         with self._cond:
@@ -1927,7 +2457,7 @@ class DistributedExecutor(_OutOfProcessExecutor):
             if not _is_registration(message):
                 conn.close()
                 continue
-            worker_id, pid, announced_interval = _parse_registration(message)
+            worker_id, pid, announced_interval, peer_address = _parse_registration(message)
             with self._cond:
                 handle = self._workers.get(worker_id)
                 known = handle is not None and handle.alive and handle.sock is None
@@ -1935,6 +2465,8 @@ class DistributedExecutor(_OutOfProcessExecutor):
                     handle.sock = conn
                     handle.pid = pid
                     handle.protocol = peer_version
+                    if peer_version >= 5 and peer_address is not None:
+                        handle.peer_address = (peer_address[0], peer_address[1])
                     handle.silence_timeout = self._silence_timeout_for(announced_interval)
                     handle.last_seen = time.monotonic()
                     self._cond.notify_all()
@@ -2124,7 +2656,19 @@ class DistributedExecutor(_OutOfProcessExecutor):
             self._task_finished(worker, message[1], message[2], error=message[3])
         elif kind == "fetch":
             self._serve_fetch(worker, message[2], message[3])
-        # heartbeats only refresh last_seen, done by the receive loop
+        elif kind == "locate":
+            self._serve_locate(worker, message[2], message[3])
+        elif kind == "cached":
+            # The worker pulled the blob from a peer and now holds a copy:
+            # record it so later locates can spread the serving load.
+            self._record_site(worker.worker_id, message[2])
+        elif kind == "heartbeat":
+            # v5 heartbeats piggyback the worker's artifact-cache counters
+            # (v4-and-earlier beats are bare 2-tuples and only refresh
+            # last_seen, which the receive loop already did).
+            if len(message) >= 3 and isinstance(message[2], dict):
+                with self._plane_lock:
+                    self._worker_plane[worker.worker_id] = dict(message[2])
 
     def _serve_fetch(
         self, worker: _WorkerHandle, session_id: str, signature: str
@@ -2179,7 +2723,7 @@ class DistributedExecutor(_OutOfProcessExecutor):
                 version=worker.protocol,
             )
         except OSError:
-            pass  # worker death is handled by its receive loop / monitor
+            return  # worker death is handled by its receive loop / monitor
         except Exception:  # noqa: BLE001 - e.g. artifact above the frame limit
             try:
                 _send_message(
@@ -2190,6 +2734,102 @@ class DistributedExecutor(_OutOfProcessExecutor):
                 )
             except OSError:
                 pass
+            return
+        if blob is not None:
+            with self._plane_lock:
+                self._plane["fetches_served"] += 1
+                self._plane["fetch_bytes_served"] += len(blob)
+            # The worker's artifact cache now holds this blob: record the
+            # site so later locates can route peers at it (a v4 worker has
+            # no peer listener, so only v5 sites are dialable — filtered
+            # at answer time by the peer_address check).
+            self._record_site(worker.worker_id, signature)
+
+    # ------------------------------------------------------------------ artifact plane
+    def _record_site(self, worker_id: str, signature: str) -> None:
+        """Note that a worker holds the blob for ``signature``."""
+        with self._plane_lock:
+            sites = self._artifact_sites.setdefault(signature, OrderedDict())
+            sites.setdefault(worker_id, None)
+            self._worker_sites.setdefault(worker_id, set()).add(signature)
+
+    def _serve_locate(
+        self, worker: _WorkerHandle, session_id: str, signature: str
+    ) -> None:
+        """Answer a worker's locate on the I/O pool (same lane as fetches)."""
+        pool = self._io_pool
+        if pool is None:
+            self._answer_locate(worker, session_id, signature)
+        else:
+            pool.submit(self._answer_locate, worker, session_id, signature)
+
+    def _answer_locate(
+        self, worker: _WorkerHandle, session_id: str, signature: str
+    ) -> None:
+        """Answer ``locate`` with up to 3 dialable peers holding the blob.
+
+        Peers are listed oldest-recorded first (they have held the blob
+        longest), excluding the requester itself, workers without an
+        announced peer listener, and dead workers.  With ``peer_fetch``
+        disabled fleet-wide the answer is always empty, which routes the
+        worker straight to the coordinator-streamed path.
+        """
+        peers: List[Tuple[str, int]] = []
+        if self.peer_fetch:
+            with self._plane_lock:
+                site_ids = list(self._artifact_sites.get(signature, ()))
+            if site_ids:
+                with self._cond:
+                    for site_id in site_ids:
+                        if site_id == worker.worker_id:
+                            continue
+                        holder = self._workers.get(site_id)
+                        if (
+                            holder is None
+                            or not holder.alive
+                            or holder.peer_address is None
+                        ):
+                            continue
+                        peers.append(holder.peer_address)
+                        if len(peers) >= 3:
+                            break
+        with self._plane_lock:
+            self._plane["locates_served"] += 1
+            if peers:
+                self._plane["locates_with_peers"] += 1
+        try:
+            _send_message(
+                worker.sock,
+                ("located", session_id, signature, tuple(peers)),
+                worker.send_lock,
+                version=worker.protocol,
+            )
+        except OSError:
+            pass  # worker death is handled by its receive loop / monitor
+
+    def artifact_plane_stats(self) -> Dict[str, Any]:
+        """Aggregate artifact-plane counters across coordinator and workers.
+
+        Returns the coordinator's own counters (``fetches_served``,
+        ``fetch_bytes_served``, ``locates_served``, ``locates_with_peers``)
+        merged with a sum over every v5 worker's last heartbeat stats
+        (``peer_fetches``, ``peer_serves``, ``cache_hits``,
+        ``cross_session_hits``, ``dedup_hits``, ...), plus the per-worker
+        breakdown under ``"workers"``.  Worker stats survive worker death
+        and fleet shutdown, so the serve daemon can report reuse after
+        :meth:`shutdown`.
+        """
+        with self._plane_lock:
+            stats: Dict[str, Any] = dict(self._plane)
+            workers = {wid: dict(s) for wid, s in self._worker_plane.items()}
+        totals: Dict[str, int] = {}
+        for worker_stats in workers.values():
+            for name, value in worker_stats.items():
+                if isinstance(value, int):
+                    totals[name] = totals.get(name, 0) + value
+        stats.update(totals)
+        stats["workers"] = workers
+        return stats
 
     def _monitor_loop(self) -> None:
         """Declare workers dead on process exit or prolonged heartbeat silence."""
@@ -2301,6 +2941,16 @@ class DistributedExecutor(_OutOfProcessExecutor):
                     while state.queue:
                         failures.append(state.queue.popleft())
             self._cond.notify_all()
+        # Drop the dead worker from the location index: a locate answered
+        # with its peer listener would cost every asker a failed dial (and
+        # a RuntimeWarning) before falling back to the coordinator.
+        with self._plane_lock:
+            for signature in self._worker_sites.pop(worker.worker_id, ()):
+                sites = self._artifact_sites.get(signature)
+                if sites is not None:
+                    sites.pop(worker.worker_id, None)
+                    if not sites:
+                        del self._artifact_sites[signature]
         if worker.sock is not None:
             worker.sock.close()
         if worker.process is not None and not worker.process.is_alive():

@@ -9,16 +9,21 @@ coordinator reaches through
 serves coordinator *connections* one at a time and survives across them, so
 one long-lived process amortizes interpreter startup over many runs.
 
-Within a single connection the protocol (version 4: canonical zero-copy
-frame payloads and batch envelopes; v3 coordinators are answered at v3 —
-see ``repro/storage/serialization.py``) is session-multiplexed:
-every task, fetch and result frame carries the coordinator-side session id,
-so one coordinator — e.g. the ``repro serve`` daemon — can interleave tasks
-from several concurrent workflow runs over the same worker.  The worker
-keeps fetch state and value caches per session and answers each frame on
-the lane it arrived for; ``--max-sessions`` counts coordinator
-*connections* (one ``DistributedExecutor`` lifetime), not these in-flight
-logical sessions.
+Within a single connection the protocol (version 5: canonical zero-copy
+frame payloads, batch envelopes and the worker-to-worker artifact plane;
+older coordinators are answered at their own version — see
+``repro/storage/serialization.py``) is session-multiplexed: every task,
+fetch and result frame carries the coordinator-side session id, so one
+coordinator — e.g. the ``repro serve`` daemon — can interleave tasks from
+several concurrent workflow runs over the same worker.  Task inputs
+resolve through the worker's **content-addressed artifact tier** (see
+``docs/artifacts.md``): a session-spanning LRU keyed on canonical
+signatures that survives across coordinator connections, backed by a
+peer-artifact listener other workers dial to pull blobs directly instead
+of routing every byte through the coordinator.  ``--no-peer-fetch``
+disables the listener (and the locate round trips), ``--cache-bytes``
+bounds the tier; ``--max-sessions`` counts coordinator *connections* (one
+``DistributedExecutor`` lifetime), not in-flight logical sessions.
 
 Typical use — two loopback workers for a smoke test::
 
@@ -96,6 +101,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="exit after serving this many coordinator sessions "
         "(default: serve forever)",
     )
+    parser.add_argument(
+        "--no-peer-fetch",
+        action="store_true",
+        help="opt out of the worker-to-worker artifact plane: no "
+        "peer-artifact listener is bound and every artifact fetch routes "
+        "through the coordinator (protocol v4 behavior)",
+    )
+    parser.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        help="byte budget of the content-addressed artifact cache tier "
+        "(default: 256 MiB); the tier spans run sessions and coordinator "
+        "connections and also feeds the peer-fetch lane",
+    )
     args = parser.parse_args(argv)
     if args.max_sessions is not None and args.max_sessions < 1:
         parser.error("--max-sessions must be at least 1")
@@ -103,6 +123,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--heartbeat-interval must be positive")
     if args.fetch_timeout <= 0:
         parser.error("--fetch-timeout must be positive")
+    if args.cache_bytes is not None and args.cache_bytes < 1:
+        parser.error("--cache-bytes must be at least 1")
 
     def announce(host: str, port: int) -> None:
         server_id = args.worker_id if args.worker_id is not None else f"pid{os.getpid()}"
@@ -117,6 +139,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             fetch_timeout=args.fetch_timeout,
             max_sessions=args.max_sessions,
             on_ready=announce,
+            peer_fetch=not args.no_peer_fetch,
+            cache_bytes=args.cache_bytes,
         )
     except KeyboardInterrupt:
         pass

@@ -342,6 +342,12 @@ class ServeDaemon:
         tenants weigh 1.
     heartbeat_interval, fetch_timeout:
         Forwarded to the owned fleet.
+    peer_fetch, worker_cache_bytes:
+        Artifact-plane knobs forwarded to the owned fleet: whether workers
+        transfer artifacts worker-to-worker, and each worker's cache-tier
+        byte budget (see ``docs/artifacts.md``).  :meth:`stats` reports the
+        plane's reuse counters under ``"artifact_plane"`` — kept readable
+        after :meth:`stop` (snapshotted before the fleet shuts down).
 
     Lifecycle: :meth:`start` warms the fleet and opens the listener;
     :meth:`stop` drains, fails still-queued submissions, and shuts the
@@ -359,6 +365,8 @@ class ServeDaemon:
         tenant_weights: Optional[Dict[str, float]] = None,
         heartbeat_interval: float = 0.5,
         fetch_timeout: float = 60.0,
+        peer_fetch: bool = True,
+        worker_cache_bytes: Optional[int] = None,
     ) -> None:
         if max_concurrent_runs < 1:
             raise ExecutionError("max_concurrent_runs must be at least 1")
@@ -371,7 +379,12 @@ class ServeDaemon:
             heartbeat_interval=heartbeat_interval,
             fetch_timeout=fetch_timeout,
             fetch_inputs=True,
+            peer_fetch=peer_fetch,
+            worker_cache_bytes=worker_cache_bytes,
         )
+        #: Artifact-plane stats frozen at stop() time, so operators can read
+        #: reuse counters after the fleet (and its workers) are gone.
+        self._plane_snapshot: Optional[Dict[str, Any]] = None
         self._listener: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
         self._scheduler = make_scheduler(scheduler, tenant_weights)
@@ -399,6 +412,7 @@ class ServeDaemon:
         if self._started:
             return self.address
         self._scheduler.open()
+        self._plane_snapshot = None  # a restart reports live counters again
         self._fleet.start()  # strict first start: a bad fleet config fails here
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -484,6 +498,10 @@ class ServeDaemon:
         with self._admit_lock:
             for record in self._scheduler.drain():
                 self._fail_unrun(record)
+        # Freeze plane counters before the fleet goes away: worker stats
+        # arrived on heartbeats and survive in the coordinator, but the
+        # aggregate must stay readable from stats() after shutdown.
+        self._plane_snapshot = self._fleet.artifact_plane_stats()
         self._fleet.shutdown()
         for thread in stragglers:
             thread.join(timeout=join_timeout)
@@ -530,8 +548,17 @@ class ServeDaemon:
 
         ``tenants`` breaks queued/active/completed/failed/cancelled down
         by tenant; ``cancelled`` lists queued runs dropped because their
-        submitter disconnected before they started.
+        submitter disconnected before they started.  ``artifact_plane``
+        aggregates the fleet's content-addressed artifact tier counters —
+        coordinator fetch/locate serving plus every worker's cache and
+        peer-transfer stats (``docs/artifacts.md``); after :meth:`stop` it
+        is the snapshot taken just before the fleet shut down.
         """
+        plane = (
+            self._plane_snapshot
+            if self._plane_snapshot is not None
+            else self._fleet.artifact_plane_stats()
+        )
         with self._stats_lock:
             return {
                 "scheduler": self._scheduler.name,
@@ -542,6 +569,7 @@ class ServeDaemon:
                 "failed": list(self._failed),
                 "cancelled": list(self._cancelled),
                 "tenants": {name: dict(row) for name, row in self._tenants.items()},
+                "artifact_plane": plane,
             }
 
     def worker_pids(self) -> Dict[str, int]:

@@ -69,6 +69,7 @@ from __future__ import annotations
 
 import ast
 import dataclasses
+import hashlib
 import importlib
 import pickle
 import struct
@@ -93,6 +94,7 @@ __all__ = [
     "encode_segments",
     "decode",
     "is_canonical",
+    "content_digest",
 ]
 
 #: Two-byte marker distinguishing canonical payloads from legacy pickles
@@ -599,6 +601,21 @@ def encode(value: Any) -> bytes:
 def is_canonical(payload: Union[bytes, bytearray, memoryview]) -> bool:
     """Whether ``payload`` starts with the canonical magic prefix."""
     return bytes(payload[:2]) == CANONICAL_MAGIC
+
+
+def content_digest(payload: Union[bytes, bytearray, memoryview]) -> str:
+    """Hex SHA-256 of serialized payload bytes — the content-address digest.
+
+    Because the canonical encoding is deterministic, the digest of an
+    artifact's serialized bytes is a pure function of its value: every
+    process that materializes the same value under the same signature
+    stores and ships byte-identical blobs with the same digest.  The store
+    records it per artifact and the worker-side artifact cache uses it to
+    assert byte-exact dedup when the same signature arrives twice (once
+    from the coordinator's FETCH lane, once from a peer transfer, the
+    bytes must agree).
+    """
+    return hashlib.sha256(payload).hexdigest()
 
 
 # ---------------------------------------------------------------------------

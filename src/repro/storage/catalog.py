@@ -21,13 +21,23 @@ __all__ = ["ArtifactRecord", "Catalog"]
 
 @dataclass(frozen=True)
 class ArtifactRecord:
-    """Metadata for one materialized artifact."""
+    """Metadata for one materialized artifact.
+
+    ``digest`` is the hex SHA-256 of the artifact's serialized canonical
+    bytes (:func:`repro.storage.canonical.content_digest`) — the content
+    address backing the distributed artifact plane: any holder of the same
+    signature stores byte-identical blobs, so a blob fetched from a peer
+    worker can be checked against the same digest the coordinator's store
+    recorded.  Records persisted by pre-digest revisions load with an empty
+    digest (unknown, never wrong).
+    """
 
     signature: str
     node_name: str
     size_bytes: int
     iteration: int
     location: str = ""
+    digest: str = ""
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -40,6 +50,7 @@ class ArtifactRecord:
             size_bytes=int(payload["size_bytes"]),
             iteration=int(payload["iteration"]),
             location=str(payload.get("location", "")),
+            digest=str(payload.get("digest", "")),
         )
 
 

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..exceptions import ArtifactNotFoundError, BudgetExceededError, StorageError
+from .canonical import content_digest
 from .catalog import ArtifactRecord, Catalog
 from .serialization import deserialize, serialize
 
@@ -57,8 +58,13 @@ class MaterializationStore(ABC):
 
     # ------------------------------------------------------------------ interface
     @abstractmethod
-    def _write(self, signature: str, value: Any) -> Tuple[int, float, str]:
-        """Persist ``value``; return ``(size_bytes, write_seconds, location)``."""
+    def _write(self, signature: str, value: Any) -> Tuple[int, float, str, str]:
+        """Persist ``value``; return ``(size_bytes, write_seconds, location, digest)``.
+
+        ``digest`` is the content digest of the serialized bytes
+        (:func:`repro.storage.canonical.content_digest`); backends that
+        cannot cheaply produce one may return ``""`` (unknown).
+        """
 
     @abstractmethod
     def _read(self, record: ArtifactRecord) -> Tuple[Any, float]:
@@ -92,7 +98,7 @@ class MaterializationStore(ABC):
             existing = self.catalog.get(signature)
             if existing is not None:
                 return StoredArtifact(existing, 0.0)
-            size_bytes, write_time, location = self._write(signature, value)
+            size_bytes, write_time, location, digest = self._write(signature, value)
             if self.budget_bytes is not None and self.total_bytes() + size_bytes > self.budget_bytes:
                 self._delete(ArtifactRecord(signature, node_name, size_bytes, iteration, location))
                 raise BudgetExceededError(
@@ -105,6 +111,7 @@ class MaterializationStore(ABC):
                 size_bytes=size_bytes,
                 iteration=iteration,
                 location=location,
+                digest=digest,
             )
             self.catalog.add(record)
             return StoredArtifact(record, write_time)
@@ -183,13 +190,13 @@ class DiskStore(MaterializationStore):
     def _path_for(self, signature: str) -> Path:
         return self.root / f"{signature}.pkl"
 
-    def _write(self, signature: str, value: Any) -> Tuple[int, float, str]:
+    def _write(self, signature: str, value: Any) -> Tuple[int, float, str, str]:
         path = self._path_for(signature)
         start = time.perf_counter()
         payload = serialize(value)
         path.write_bytes(payload)
         elapsed = time.perf_counter() - start
-        return len(payload), elapsed, str(path)
+        return len(payload), elapsed, str(path), content_digest(payload)
 
     def _read(self, record: ArtifactRecord) -> Tuple[Any, float]:
         path = Path(record.location) if record.location else self._path_for(record.signature)
@@ -225,10 +232,15 @@ class InMemoryStore(MaterializationStore):
     def _modelled_io_time(self, size_bytes: int) -> float:
         return self.latency_seconds + size_bytes / self.disk_bandwidth
 
-    def _write(self, signature: str, value: Any) -> Tuple[int, float, str]:
+    def _write(self, signature: str, value: Any) -> Tuple[int, float, str, str]:
         payload = serialize(value)
         self._blobs[signature] = payload
-        return len(payload), self._modelled_io_time(len(payload)), "memory"
+        return (
+            len(payload),
+            self._modelled_io_time(len(payload)),
+            "memory",
+            content_digest(payload),
+        )
 
     def _read(self, record: ArtifactRecord) -> Tuple[Any, float]:
         payload = self._blobs.get(record.signature)

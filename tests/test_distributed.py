@@ -47,6 +47,7 @@ import signal
 import socket
 import threading
 import time
+import warnings
 
 import pytest
 
@@ -63,7 +64,9 @@ from repro.execution.equivalence import (
 from repro.execution.executors import (
     DistributedExecutor,
     WorkerServer,
-    _FetchCache,
+    _ArtifactCache,
+    _fetch_from_peer,
+    _PeerArtifactServer,
     parse_worker_address,
     run_serialized_task,
 )
@@ -1164,6 +1167,333 @@ class TestArtifactFetchLane:
 
 
 # ---------------------------------------------------------------------------
+# Worker-to-worker artifact plane (protocol v5)
+# ---------------------------------------------------------------------------
+def _scripted_worker(worker_id="p0", fetch_timeout=5.0, peer_fetch=True):
+    """A real WorkerServer served over a scripted coordinator TCP socket.
+
+    Returns ``(server, coordinator_sock, thread)``; the caller speaks the
+    coordinator side of the protocol frame by frame.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    coordinator = socket.create_connection(listener.getsockname())
+    worker_side, _ = listener.accept()
+    listener.close()
+    server = WorkerServer(
+        worker_id=worker_id,
+        heartbeat_interval=60.0,
+        fetch_timeout=fetch_timeout,
+        peer_fetch=peer_fetch,
+    )
+    thread = threading.Thread(
+        target=lambda: server._serve_connection(worker_side), daemon=True
+    )
+    thread.start()
+    return server, coordinator, thread
+
+
+def _next_nonbeat(coordinator):
+    while True:
+        frame = recv_frame(coordinator)
+        assert frame is not None, "worker closed the connection early"
+        message = deserialize(frame)
+        if message[0] != "heartbeat":
+            return message
+
+
+class TestArtifactPlane:
+    def test_peer_server_round_trip_and_miss(self):
+        """``_fetch_from_peer`` pulls the exact cached bytes off a peer's
+        artifact listener; a signature the peer no longer holds answers
+        ``None`` (a miss, not an error)."""
+        cache = _ArtifactCache()
+        blob = serialize({"weights": list(range(32))})
+        cache.put("sig-w", deserialize(blob), blob)
+        peer = _PeerArtifactServer(cache, host="127.0.0.1")
+        peer.start()
+        try:
+            fetched = _fetch_from_peer(("127.0.0.1", peer.port), "sig-w")
+            assert fetched == blob  # byte-exact: same content address, same bytes
+            assert _fetch_from_peer(("127.0.0.1", peer.port), "sig-evicted") is None
+            assert cache.stats()["peer_serves"] == 1
+        finally:
+            peer.close()
+
+    def test_dead_peer_raises_for_the_fallback_path(self):
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        dead_address = probe.getsockname()
+        probe.close()  # nothing listens here anymore
+        with pytest.raises(OSError):
+            _fetch_from_peer(dead_address, "sig", timeout=1.0)
+
+    def test_worker_fetches_artifact_from_peer_not_coordinator(self):
+        """The tentpole flow end to end with two real workers: worker A
+        resolves a ref through the coordinator-streamed path, worker B is
+        ``located`` at A and pulls the blob worker-to-worker — the
+        coordinator sees B's locate and B's ``cached`` announcement, but
+        never a byte-carrying fetch from B."""
+        from repro.core.operators import RunContext
+        from repro.workloads.synthetic import LatencyOperator
+
+        blob = serialize(21.0)
+        worker_a, coord_a, thread_a = _scripted_worker("pa")
+        worker_b, coord_b, thread_b = _scripted_worker("pb")
+        try:
+            register_a = _next_nonbeat(coord_a)
+            register_b = _next_nonbeat(coord_b)
+            assert register_a[0] == register_b[0] == "register"
+            # v5 registration announces each worker's peer listener address
+            peer_addr_a = register_a[4]
+            assert peer_addr_a == ("127.0.0.1", worker_a._peer_server.port)
+
+            def _send_task(coordinator, key):
+                payload = serialize(
+                    (key, LatencyOperator(offset=1.0), [ArtifactRef("sigZ")], RunContext())
+                )
+                send_frame(coordinator, serialize(("task", "s1", key, payload)))
+
+            # worker A: locate answers no peers -> coordinator-streamed path
+            _send_task(coord_a, "ka")
+            assert _next_nonbeat(coord_a)[0] == "ack"
+            locate = _next_nonbeat(coord_a)
+            assert locate == ("locate", "pa", "s1", "sigZ")
+            send_frame(coord_a, serialize(("located", "s1", "sigZ", ())))
+            fetch = _next_nonbeat(coord_a)
+            assert fetch == ("fetch", "pa", "s1", "sigZ")
+            send_frame(coord_a, serialize(("artifact", "s1", "sigZ", blob)))
+            assert _next_nonbeat(coord_a)[0] == "result"
+
+            # worker B: located at A -> the bytes move worker-to-worker
+            _send_task(coord_b, "kb")
+            assert _next_nonbeat(coord_b)[0] == "ack"
+            locate = _next_nonbeat(coord_b)
+            assert locate == ("locate", "pb", "s1", "sigZ")
+            send_frame(coord_b, serialize(("located", "s1", "sigZ", (peer_addr_a,))))
+            # next frames: the cached announcement and the result — and
+            # crucially no ("fetch", ...) ever arrives from B
+            kinds = {_next_nonbeat(coord_b)[0] for _ in range(2)}
+            assert kinds == {"cached", "result"}
+            assert worker_b.cache.stats()["peer_fetches"] == 1
+            assert worker_b.cache.stats()["coordinator_fetches"] == 0
+            assert worker_a.cache.stats()["peer_serves"] == 1
+            # B now holds byte-identical state: same content address, same bytes
+            assert worker_b.cache.blob("sigZ") == blob
+        finally:
+            for coordinator in (coord_a, coord_b):
+                try:
+                    send_frame(coordinator, serialize(("shutdown",)))
+                except OSError:
+                    pass
+                coordinator.close()
+            thread_a.join(timeout=5)
+            thread_b.join(timeout=5)
+
+    def test_peer_death_mid_fetch_degrades_with_single_warning(self):
+        """Kill the owning peer between the coordinator's ``located`` answer
+        and the dial: the fetch degrades to the coordinator-streamed path
+        with exactly one ``RuntimeWarning`` — the task still succeeds."""
+        from repro.core.operators import RunContext
+        from repro.workloads.synthetic import LatencyOperator
+
+        # the "owning peer": a listener that is already dead by dial time
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        dead_peer = probe.getsockname()
+        probe.close()
+
+        server, coordinator, thread = _scripted_worker("pw", fetch_timeout=10.0)
+        try:
+            assert _next_nonbeat(coordinator)[0] == "register"
+            payload = serialize(
+                ("k", LatencyOperator(offset=1.0), [ArtifactRef("sigD")], RunContext())
+            )
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                send_frame(coordinator, serialize(("task", "s1", "k", payload)))
+                assert _next_nonbeat(coordinator)[0] == "ack"
+                locate = _next_nonbeat(coordinator)
+                assert locate == ("locate", "pw", "s1", "sigD")
+                # answer with two dead addresses: still ONE warning total
+                send_frame(
+                    coordinator,
+                    serialize(("located", "s1", "sigD", (dead_peer, dead_peer))),
+                )
+                fetch = _next_nonbeat(coordinator)
+                assert fetch == ("fetch", "pw", "s1", "sigD")
+                send_frame(
+                    coordinator, serialize(("artifact", "s1", "sigD", serialize(5.0)))
+                )
+                result = _next_nonbeat(coordinator)
+                assert result[0] == "result"  # the task never failed
+            plane_warnings = [
+                w for w in caught if issubclass(w.category, RuntimeWarning)
+                and "peer fetch" in str(w.message)
+            ]
+            assert len(plane_warnings) == 1, [str(w.message) for w in caught]
+            assert "falling back" in str(plane_warnings[0].message)
+            assert server.cache.stats()["peer_fetch_failures"] == 1
+            assert server.cache.stats()["coordinator_fetches"] == 1
+        finally:
+            try:
+                send_frame(coordinator, serialize(("shutdown",)))
+            except OSError:
+                pass
+            coordinator.close()
+            thread.join(timeout=5)
+
+    def test_v4_coordinator_gets_no_artifact_plane_frames(self):
+        """A worker that negotiated down to v4 must resolve refs exactly as
+        before the plane existed: no ``locate``, no peer dials — straight
+        to the coordinator-streamed fetch."""
+        from repro.core.operators import RunContext
+        from repro.workloads.synthetic import LatencyOperator
+
+        server, coordinator, thread = _scripted_worker("pv4")
+        try:
+            assert _next_nonbeat(coordinator)[0] == "register"
+            payload = serialize(
+                ("k", LatencyOperator(offset=1.0), [ArtifactRef("sigV")], RunContext())
+            )
+            # the v4-stamped frame downgrades the connection's peer version
+            send_frame(
+                coordinator, serialize(("task", "s1", "k", payload)), version=4
+            )
+            assert _next_nonbeat(coordinator)[0] == "ack"
+            fetch = _next_nonbeat(coordinator)
+            assert fetch == ("fetch", "pv4", "s1", "sigV")  # no locate first
+            send_frame(
+                coordinator,
+                serialize(("artifact", "s1", "sigV", serialize(3.0))),
+                version=4,
+            )
+            assert _next_nonbeat(coordinator)[0] == "result"
+        finally:
+            try:
+                send_frame(coordinator, serialize(("shutdown",)), version=4)
+            except OSError:
+                pass
+            coordinator.close()
+            thread.join(timeout=5)
+
+    def test_locate_answers_empty_when_peer_fetch_disabled(self):
+        """``DistributedExecutor(peer_fetch=False)`` never hands out peer
+        addresses — and spawned workers skip the locate round trip
+        entirely, so the plane is fully off."""
+        from repro.core.operators import RunContext
+        from repro.workloads.synthetic import LatencyOperator
+
+        store = InMemoryStore()
+        store.put("parent", "sig-off", 21.0)
+        executor = DistributedExecutor(
+            max_workers=1, fetch_inputs=True, peer_fetch=False
+        )
+        executor.bind_store(store)
+        try:
+            executor.start()
+            executor.submit_payload(
+                "child",
+                serialize(
+                    ("child", LatencyOperator(offset=1.0), [ArtifactRef("sig-off")], RunContext())
+                ),
+            )
+            key, outcome, error = executor.next_completion()
+            assert (key, error) == ("child", None)
+            assert outcome[0] == pytest.approx(22.0)
+            executor.finish_run()
+            plane = executor.artifact_plane_stats()
+            assert plane["locates_served"] == 0
+            assert plane["locates_with_peers"] == 0
+            assert plane["fetches_served"] == 1
+        finally:
+            executor.shutdown()
+
+    def test_equivalence_exact_storage_across_all_fetch_paths(self):
+        """Acceptance: run statistics AND persisted storage (artifact
+        sizes + content digests) are exactly equal whichever way the bytes
+        traveled — peer fetch, coordinator-only fallback (``peer_fetch``
+        off), and a warm shared cache tier (the same fleet re-run, its
+        workers already holding every artifact)."""
+        peer = DistributedExecutor(max_workers=2, fetch_inputs=True)
+        nopeer = DistributedExecutor(
+            max_workers=2, fetch_inputs=True, peer_fetch=False
+        )
+        try:
+            dag = make_random_dag(10, max_width=4, max_depth=4)
+            rigs, _ = assert_executors_equivalent(
+                dag,
+                executors=(
+                    "inline",
+                    ("distributed-peer", peer),
+                    ("distributed-coordinator-only", nopeer),
+                ),
+            )
+            assert set(rigs) == {
+                "inline", "distributed-peer", "distributed-coordinator-only"
+            }
+            # warm path: same fleet again — its workers' artifact tiers
+            # already hold the signatures, so resolution comes from cache
+            assert_executors_equivalent(
+                dag, executors=("inline", ("distributed-warm", peer))
+            )
+        finally:
+            peer.shutdown()
+            nopeer.shutdown()
+
+    def test_coordinator_locate_and_site_bookkeeping(self):
+        """Unit-level checks of the coordinator's location index: sites are
+        recorded on fetch serves and ``cached`` announcements, the asker is
+        excluded from its own answer, dialable-peer filtering drops workers
+        without a peer listener, and a dead worker's sites are pruned."""
+        executor = DistributedExecutor(max_workers=2)
+        holder = executor._workers.setdefault("w-holder", _make_handle("w-holder"))
+        asker = executor._workers.setdefault("w-asker", _make_handle("w-asker"))
+        holder.peer_address = ("127.0.0.1", 4001)
+        asker.peer_address = ("127.0.0.1", 4002)
+
+        executor._record_site("w-holder", "sigX")
+        executor._record_site("w-asker", "sigX")
+        sent = []
+
+        def _capture(sock, message, lock=None, version=PROTOCOL_VERSION):
+            sent.append(message)
+
+        import repro.execution.executors as executors_module
+
+        original = executors_module._send_message
+        executors_module._send_message = _capture
+        try:
+            executor._answer_locate(asker, "s1", "sigX")
+            # the asker never gets itself back, only the other holder
+            assert sent[-1] == ("located", "s1", "sigX", (("127.0.0.1", 4001),))
+            # a holder without a peer listener (v4 worker) is not dialable
+            holder.peer_address = None
+            executor._answer_locate(asker, "s1", "sigX")
+            assert sent[-1] == ("located", "s1", "sigX", ())
+            holder.peer_address = ("127.0.0.1", 4001)
+            # a dead worker's sites are pruned wholesale
+            executor._worker_failed(holder)
+            executor._answer_locate(asker, "s1", "sigX")
+            assert sent[-1] == ("located", "s1", "sigX", ())
+            assert "w-holder" not in executor._worker_sites
+            stats = executor.artifact_plane_stats()
+            assert stats["locates_served"] == 3
+            assert stats["locates_with_peers"] == 1
+        finally:
+            executors_module._send_message = original
+
+
+def _make_handle(worker_id):
+    from repro.execution.executors import _WorkerHandle
+
+    handle = _WorkerHandle(worker_id)
+    handle.sock = socket.socket()  # never written: _send_message is stubbed
+    return handle
+
+
+# ---------------------------------------------------------------------------
 # Review-fix regressions
 # ---------------------------------------------------------------------------
 class TestReviewRegressions:
@@ -1298,13 +1628,15 @@ class TestReviewRegressions:
         finally:
             coordinator.close()
 
-    def test_close_session_drops_worker_session_state(self):
-        """A ``close_session`` frame must release the session's worker-side
-        bookkeeping (lane, fetched-value cache, pending fetch slots): under
-        a long-lived fleet (``repro serve``) one connection outlives every
-        run session multiplexed onto it, and retained caches grow worker
-        memory without bound.  Observable on the wire: a re-fetch after the
-        close issues a fresh ``fetch`` frame instead of hitting the cache."""
+    def test_close_session_keeps_artifact_cache_but_drops_session_state(self):
+        """``close_session`` releases the session's lane and pending slots,
+        but the **content-addressed artifact tier survives** — it is keyed
+        on canonical signatures (entries can never go stale) and bounded by
+        its own LRU budget, and keeping it warm across run sessions is what
+        lets the next ``repro serve`` run reuse this one's artifacts.
+        Observable on the wire: a re-fetch after the close produces **no**
+        ``locate``/``fetch`` frame at all — the task resolves straight from
+        the surviving cache."""
         from repro.core.operators import RunContext
         from repro.workloads.synthetic import LatencyOperator
 
@@ -1325,28 +1657,37 @@ class TestReviewRegressions:
         thread.start()
 
         def _next_message():
-            frame = recv_frame(coordinator)
-            assert frame is not None, "worker closed the connection early"
-            message = deserialize(frame)
-            assert message[0] != "heartbeat"  # 60s interval: none expected
-            return message
+            # Skip heartbeats: the 60s interval sends none periodically, but
+            # close_session flushes one final stats-carrying beat (v5).
+            while True:
+                frame = recv_frame(coordinator)
+                assert frame is not None, "worker closed the connection early"
+                message = deserialize(frame)
+                if message[0] != "heartbeat":
+                    return message
 
-        def _send_task(key):
+        def _send_task(key, session="s1"):
             payload = serialize(
                 (key, LatencyOperator(offset=1.0), [ArtifactRef("sigA")], RunContext())
             )
-            send_frame(coordinator, serialize(("task", "s1", key, payload)))
+            send_frame(coordinator, serialize(("task", session, key, payload)))
 
-        def _serve_fetch():
+        def _serve_fetch(session="s1"):
+            # v5 worker first asks where the blob lives; an empty peer list
+            # routes it to the classic coordinator-streamed fetch.
+            locate = _next_message()
+            assert locate[:1] + locate[2:] == ("locate", session, "sigA"), locate
+            send_frame(coordinator, serialize(("located", session, "sigA", ())))
             fetch = _next_message()
-            assert fetch[:1] + fetch[2:] == ("fetch", "s1", "sigA"), fetch
+            assert fetch[:1] + fetch[2:] == ("fetch", session, "sigA"), fetch
             send_frame(
-                coordinator, serialize(("artifact", "s1", "sigA", serialize(21.0)))
+                coordinator,
+                serialize(("artifact", session, "sigA", serialize(21.0))),
             )
 
         try:
             assert _next_message()[0] == "register"
-            # first task populates the session cache via a fetch round trip
+            # first task populates the artifact tier via a fetch round trip
             _send_task("k1")
             assert _next_message()[0] == "ack"
             _serve_fetch()
@@ -1355,15 +1696,20 @@ class TestReviewRegressions:
             _send_task("k2")
             assert _next_message()[0] == "ack"
             assert _next_message()[0] == "result"
-            # after close_session the cache is gone: the fetch comes back
+            # after close_session the cache survives: still no fetch frame,
+            # even from a *different* session (content addressing makes the
+            # entry shareable across runs)
             send_frame(coordinator, serialize(("close_session", "s1")))
-            _send_task("k3")
+            _send_task("k3", session="s2")
             assert _next_message()[0] == "ack"
-            _serve_fetch()
             assert _next_message()[0] == "result"
             send_frame(coordinator, serialize(("shutdown",)))
             thread.join(timeout=5)
             assert not thread.is_alive()
+            # the cross-session resolve above is visible in the tier's stats
+            stats = server.cache.stats()
+            assert stats["cross_session_hits"] >= 1
+            assert stats["coordinator_fetches"] == 1
         finally:
             coordinator.close()
 
@@ -1514,44 +1860,83 @@ class TestRedialBackoff:
 
 
 # ---------------------------------------------------------------------------
-# Worker-side fetch cache bounds
+# Worker-side artifact cache tier: bounds, dedup, pinning
 # ---------------------------------------------------------------------------
-class TestFetchCacheBounds:
+class TestArtifactCacheTier:
     def test_byte_budget_evicts_least_recently_used(self):
-        cache = _FetchCache(max_entries=10, max_bytes=100)
-        cache.put("a", "A", 60)
-        cache.put("b", "B", 30)
+        cache = _ArtifactCache(max_entries=10, max_bytes=100)
+        cache.put("a", "A", b"a" * 60)
+        cache.put("b", "B", b"b" * 30)
         assert (len(cache), cache.total_bytes) == (2, 90)
         hit, value = cache.get("a")  # refresh a: b becomes the LRU entry
         assert hit and value == "A"
-        cache.put("c", "C", 30)  # 120 bytes > 100: evict b, keep the fresh a
+        cache.put("c", "C", b"c" * 30)  # 120 bytes > 100: evict b, keep the fresh a
         assert cache.get("b") == (False, None)
         assert cache.get("a") == (True, "A")
         assert cache.total_bytes == 90
 
     def test_entry_cap_still_applies_to_small_artifacts(self):
-        cache = _FetchCache(max_entries=3, max_bytes=1 << 30)
+        cache = _ArtifactCache(max_entries=3, max_bytes=1 << 30)
         for index in range(5):
-            cache.put(f"s{index}", index, 1)
+            cache.put(f"s{index}", index, b"x")
         assert len(cache) == 3
         assert cache.get("s0") == (False, None)
         assert cache.get("s4") == (True, 4)
 
     def test_oversized_artifact_keeps_serving_its_task(self):
-        cache = _FetchCache(max_entries=4, max_bytes=100)
-        cache.put("huge", "H", 1000)  # above the whole budget: floor of one
+        cache = _ArtifactCache(max_entries=4, max_bytes=100)
+        cache.put("huge", "H", b"h" * 1000)  # above the whole budget: floor of one
         assert cache.get("huge") == (True, "H")
         assert (len(cache), cache.total_bytes) == (1, 1000)
-        cache.put("next", "N", 10)  # the oversized entry goes on the next insert
+        cache.put("next", "N", b"n" * 10)  # the oversized entry goes on the next insert
         assert cache.get("huge") == (False, None)
         assert (len(cache), cache.total_bytes) == (1, 10)
 
-    def test_replacing_a_signature_does_not_double_count_bytes(self):
-        cache = _FetchCache(max_entries=4, max_bytes=100)
-        cache.put("a", "A1", 40)
-        cache.put("a", "A2", 50)
-        assert (len(cache), cache.total_bytes) == (1, 50)
-        assert cache.get("a") == (True, "A2")
+    def test_reinserting_a_signature_is_a_dedup_hit_not_a_recharge(self):
+        """The signature is the content address: a second ``put`` of the
+        same signature keeps the first entry and charges nothing — the
+        byte accounting must show exactly one copy (the dedup the
+        artifact-plane contract promises for concurrent sessions)."""
+        cache = _ArtifactCache(max_entries=4, max_bytes=100)
+        blob = serialize({"shared": 1})
+        cache.put("a", {"shared": 1}, blob, session="s1")
+        cache.put("a", {"shared": 1}, blob, session="s2")
+        assert (len(cache), cache.total_bytes) == (1, len(blob))
+        assert cache.stats()["dedup_hits"] == 1
+        assert cache.stats()["inserts"] == 1
+
+    def test_two_sessions_share_one_cached_blob(self):
+        """A hit from a session other than the inserting one counts as a
+        cross-session hit — the wire-observable reuse signal ``repro
+        serve`` aggregates — and serves the same object, not a copy."""
+        cache = _ArtifactCache()
+        value = {"payload": list(range(8))}
+        cache.put("sig", value, serialize(value), session="run-a")
+        hit_a, got_a = cache.get("sig", session="run-a")
+        hit_b, got_b = cache.get("sig", session="run-b")
+        assert hit_a and hit_b and got_a is value and got_b is value
+        stats = cache.stats()
+        assert stats["cache_hits"] == 2
+        assert stats["cross_session_hits"] == 1
+        assert stats["cache_entries"] == 1
+        assert stats["cache_bytes"] == cache.total_bytes
+
+    def test_eviction_skips_pinned_inflight_inputs(self):
+        """Eviction pressure from one session must not pull an artifact out
+        from under another session's running task: pinned entries are
+        skipped even when they are the LRU victim, and unpinning makes
+        them evictable again."""
+        cache = _ArtifactCache(max_entries=10, max_bytes=100)
+        cache.put("inflight", "I", b"i" * 60)
+        cache.pin("inflight")
+        cache.put("b", "B", b"b" * 30)
+        cache.put("c", "C", b"c" * 30)  # over budget: LRU is the pinned entry
+        assert cache.get("inflight") == (True, "I")  # survived eviction
+        assert cache.get("b") == (False, None)  # next-oldest evicted instead
+        cache.unpin("inflight")
+        cache.get("c")  # refresh c so the unpinned entry is the LRU victim
+        cache.put("d", "D", b"d" * 30)
+        assert cache.get("inflight") == (False, None)
 
 
 # ---------------------------------------------------------------------------
@@ -1722,36 +2107,91 @@ class TestSessionMultiplexing:
             fleet.shutdown()
 
     def test_fetches_answered_from_each_sessions_own_store(self):
-        """Two sessions ship the *same* artifact signature backed by
+        """Two sessions ship *different* artifact signatures backed by
         different bound stores; each fetch must resolve from the store of
-        the session that shipped the ref (and the worker's per-session
-        cache must not leak the first session's value into the second)."""
+        the session that shipped the ref.  (Signatures are content
+        addresses: distinct values always carry distinct recursive node
+        signatures, which is exactly what lets the worker's artifact tier
+        span sessions — the same-signature case is the *sharing* test
+        below, not a store-routing one.)"""
         from repro.core.operators import RunContext
         from repro.workloads.synthetic import LatencyOperator
 
         fleet = DistributedExecutor(max_workers=1, fetch_inputs=True)
         try:
             sessions = []
-            for value in (10.0, 20.0):
+            for value, signature in ((10.0, "sig-a"), (20.0, "sig-b")):
                 session = fleet.session()
                 store = InMemoryStore()
-                store.put("parent", "sig-shared", value)
+                store.put("parent", signature, value)
                 session.bind_store(store)
                 session.start()
-                sessions.append((value, session))
-            for value, session in sessions:  # A fully first, then B
+                sessions.append((value, signature, session))
+            for value, signature, session in sessions:  # A fully first, then B
                 session.submit_payload(
                     "child",
                     serialize(
-                        ("child", LatencyOperator(offset=1.0), [ArtifactRef("sig-shared")], RunContext())
+                        ("child", LatencyOperator(offset=1.0), [ArtifactRef(signature)], RunContext())
                     ),
                 )
                 key, outcome, error = session.next_completion()
                 assert (key, error) == ("child", None)
                 assert outcome[0] == pytest.approx(value + 1.0)
                 session.finish_run()
-            for _, session in sessions:
+            for _, _, session in sessions:
                 session.shutdown()
+        finally:
+            fleet.shutdown()
+
+    def test_sessions_share_one_cached_artifact_per_signature(self):
+        """Two sessions resolving the *same* signature on one worker hit a
+        single cached blob: the first resolve fetches (peer or
+        coordinator), the second is a cross-session cache hit — no second
+        fetch reaches the coordinator, and the fleet's plane stats expose
+        the reuse (the counter ``repro serve`` reports)."""
+        from repro.core.operators import RunContext
+        from repro.workloads.synthetic import LatencyOperator
+
+        fleet = DistributedExecutor(max_workers=1, fetch_inputs=True)
+        shared_value = 21.0
+        try:
+            fetches = []
+            original = DistributedExecutor._answer_fetch
+
+            def counting(self, worker, session_id, signature):
+                fetches.append(signature)
+                original(self, worker, session_id, signature)
+
+            DistributedExecutor._answer_fetch = counting
+            try:
+                for _ in range(2):
+                    session = fleet.session()
+                    store = InMemoryStore()
+                    store.put("parent", "sig-shared", shared_value)
+                    session.bind_store(store)
+                    session.start()
+                    session.submit_payload(
+                        "child",
+                        serialize(
+                            ("child", LatencyOperator(offset=1.0), [ArtifactRef("sig-shared")], RunContext())
+                        ),
+                    )
+                    key, outcome, error = session.next_completion()
+                    assert (key, error) == ("child", None)
+                    session.finish_run()
+                    session.shutdown()
+            finally:
+                DistributedExecutor._answer_fetch = original
+            assert fetches == ["sig-shared"]  # exactly one coordinator fetch
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:  # stats ride the heartbeat
+                plane = fleet.artifact_plane_stats()
+                if plane.get("cross_session_hits", 0) >= 1:
+                    break
+                time.sleep(0.05)
+            assert plane.get("cross_session_hits", 0) >= 1, plane
+            assert plane["fetches_served"] == 1
+            assert plane["fetch_bytes_served"] == len(serialize(shared_value))
         finally:
             fleet.shutdown()
 

@@ -181,6 +181,53 @@ class TestServeDaemon:
         with pytest.raises(ExecutionError, match="max_concurrent_runs"):
             ServeDaemon(max_workers=1, max_concurrent_runs=0)
 
+    def test_overlapping_identical_runs_reuse_artifacts(self):
+        """Same-seed runs produce identical signatures, so later runs
+        resolve artifacts from the fleet's shared content-addressed tier
+        (or a peer worker) instead of pulling every byte through the
+        coordinator again — wire-observable in the ``artifact_plane``
+        counters, which must also survive stop().  The first two runs
+        overlap (their fetches may race); the third starts against warm
+        worker caches, so at least one peer fetch or cross-session hit is
+        guaranteed."""
+        with ServeDaemon(max_workers=2, max_concurrent_runs=2) as daemon:
+            client = ServiceClient(daemon.address)
+            handle_a = client.submit(dict(CENSUS_SPEC))
+            handle_b = client.submit(dict(CENSUS_SPEC))  # same seed: same sigs
+            handle_a.result()
+            handle_b.result()
+            client.submit(dict(CENSUS_SPEC)).result()  # warm-tier run
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:  # worker stats ride heartbeats
+                plane = daemon.stats()["artifact_plane"]
+                reuse = plane.get("peer_fetches", 0) + plane.get(
+                    "cross_session_hits", 0
+                )
+                if reuse >= 1:
+                    break
+                time.sleep(0.05)
+            assert reuse >= 1, plane
+        # the stop() snapshot keeps the counters readable after the fleet
+        # (and its stats-carrying heartbeats) are gone
+        frozen = daemon.stats()["artifact_plane"]
+        assert frozen.get("peer_fetches", 0) + frozen.get("cross_session_hits", 0) >= 1
+        assert "locates_served" in frozen and "fetch_bytes_served" in frozen
+
+    def test_peer_fetch_off_routes_all_bytes_through_coordinator(self):
+        """The ``peer_fetch=False`` knob fully disables the plane: locates
+        are never answered with peers and workers never dial each other,
+        yet runs still complete and match inline."""
+        spec = dict(CENSUS_SPEC, iterations=1)
+        with ServeDaemon(
+            max_workers=1, max_concurrent_runs=1, peer_fetch=False
+        ) as daemon:
+            payload = submit_run(daemon.address, spec)
+            plane = daemon.stats()["artifact_plane"]
+        assert payload["summary"]["iterations"] == 1
+        assert plane["locates_served"] == 0
+        assert plane["locates_with_peers"] == 0
+        assert_payloads_equivalent(payload, inline_reference(spec))
+
     def test_submit_run_convenience(self):
         with ServeDaemon(max_workers=1) as daemon:
             events = []
